@@ -1,0 +1,51 @@
+"""Ablation: how does the size of the mutator set shape the search space?
+
+GrayC ships 5 hand-written mutators; MetaMut generates 118.  The paper
+attributes μCFuzz's wins to the breadth of its generated mutator set.  The
+ablation runs μCFuzz with nested subsets of the supervised set (5, 17, 34,
+68 mutators) under the same budget.
+"""
+
+import random
+
+from repro.compiler import Compiler, GCC_SIM
+from repro.fuzzing.mucfuzz import MuCFuzz
+from repro.fuzzing.seedgen import generate_seeds
+from repro.muast.registry import global_registry
+
+STEPS = 70
+SUBSETS = (5, 17, 34, 68)
+
+
+def _coverage_with(count: int) -> tuple[int, int]:
+    compiler = Compiler(*GCC_SIM)
+    seeds = generate_seeds(120)
+    supervised = sorted(global_registry.supervised(), key=lambda i: i.name)
+    fuzzer = MuCFuzz(
+        compiler, random.Random(17), seeds, supervised[:count]
+    )
+    for _ in range(STEPS):
+        fuzzer.step()
+    return len(fuzzer.coverage), len(fuzzer.crashes) if hasattr(fuzzer, "crashes") else 0
+
+
+def test_ablation_mutator_set_size(benchmark):
+    results = {}
+    for count in SUBSETS:
+        if count == SUBSETS[0]:
+            results[count] = benchmark.pedantic(
+                _coverage_with, args=(count,), rounds=1
+            )
+        else:
+            results[count] = _coverage_with(count)
+
+    print("\nAblation — mutator-set size vs coverage (same step budget)")
+    print(f"{'|M|':>5}{'coverage':>10}")
+    for count in SUBSETS:
+        print(f"{count:>5}{results[count][0]:>10}")
+
+    # More mutators = a broader search space; the full set should be at
+    # least as good as a GrayC-sized subset and strictly better overall.
+    assert results[68][0] >= results[5][0]
+    best_small = max(results[5][0], results[17][0])
+    assert results[68][0] >= 0.98 * best_small

@@ -1,0 +1,55 @@
+"""Ablation: how much does the validation-refinement loop buy?
+
+The paper's §3.2 observes "nearly half of the mutators are correct on the
+first attempt, and many others can be automatically corrected during the
+refinement loop"; §4.1 reports 27/50 valid M_u mutators were invalid before
+refinement.  The ablation disables the repair loop (max_attempts = 1) and
+compares the per-invocation validity rate.
+"""
+
+import random
+
+from repro.llm.client import LLMClient
+from repro.llm.costs import MutatorCost
+from repro.llm.model import SimulatedLLM
+from repro.metamut.refinement import refine
+from repro.metamut.testgen import tests_for as programs_for
+from repro.muast.registry import global_registry
+
+RUNS = 60
+
+
+def _validity_rate(max_attempts: int, seed: int = 7) -> float:
+    """Fraction of valid-fated drafts that pass with the given budget."""
+    client = LLMClient(SimulatedLLM(), failure_rate=0.0)
+    rng = random.Random(seed)
+    model = client.model
+    passed = 0
+    for _ in range(RUNS):
+        invention = model.invent(rng, set())
+        if invention.fate != "valid":
+            continue  # ablate over the drafts the loop could in principle fix
+        impl = model.synthesize(rng, invention)
+        tests = programs_for(invention.structure, invention.description)
+        cost = MutatorCost(name=invention.name)
+        outcome = refine(client, impl, tests, rng, cost, max_attempts=max_attempts)
+        passed += int(outcome.passed)
+    return passed
+
+
+def test_ablation_refinement_loop(benchmark):
+    with_loop = _validity_rate(max_attempts=27)
+    without_loop = benchmark.pedantic(
+        _validity_rate, kwargs={"max_attempts": 1}, rounds=1
+    )
+
+    print("\nAblation — the validation-refinement loop")
+    print(f"valid drafts accepted with   1 attempt : {without_loop}")
+    print(f"valid drafts accepted with  27 attempts: {with_loop}")
+    gain = with_loop / max(without_loop, 1)
+    print(f"refinement multiplies the yield by ~{gain:.1f}x "
+          f"(paper: 27 of 50 valid mutators were broken pre-refinement)")
+
+    # Without the loop, only ~first-draft-correct mutators survive (~46%).
+    assert without_loop < with_loop
+    assert with_loop >= 1.3 * without_loop

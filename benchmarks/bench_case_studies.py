@@ -1,0 +1,94 @@
+"""§2 / §5.3 case studies: each famous bug reproduced from its mutant.
+
+Clang #63762 (Ret2V), GCC #111820 (vectorizer hang, -O3 -fno-tree-vrp),
+GCC #111819 (__imag/fold_offsetof), Clang #69213 (StructToInt), and the
+§5.2 exclusive strlen/verify_range crash.
+"""
+
+import pytest
+
+from repro.compiler import CLANG_SIM, GCC_SIM, Compiler
+
+CASES = [
+    (
+        "clang-63762", CLANG_SIM, 2, (),
+        """
+void foo(int x[64], int y[64]) {
+  int i;
+  for (i = 0; i < 64; i++) { x[i] += y[i] & 3; }
+  if (x[0] > y[1]) goto gt;
+  if (x[1] < y[0]) goto lt;
+  ;
+gt:
+  ;
+lt:
+  ;
+}
+int arrs[64];
+int main(void) { foo(arrs, arrs); return 0; }
+""",
+    ),
+    (
+        "gcc-111820", GCC_SIM, 3, ("-fno-tree-vrp",),
+        """
+int r;
+int r_0;
+void f(void) {
+  int n = 0;
+  while (--n) {
+    r_0 += r;
+    r += r; r += r; r += r; r += r; r += r;
+  }
+}
+int main(void) { f(); return 0; }
+""",
+    ),
+    (
+        "gcc-111819", GCC_SIM, 0, (),
+        """
+long long combinedVar_1[4];
+int *bar(void) {
+  return (int *)&__imag (*(_Complex double *)((char *)combinedVar_1 + 16));
+}
+int main(void) { return 0; }
+""",
+    ),
+    (
+        "clang-69213", CLANG_SIM, 2, (),
+        """
+struct s2 { int a; int b; };
+void foo(int *ptr) {
+  *ptr = (int) { {}, 0 };
+}
+int main(void) { return 0; }
+""",
+    ),
+    (
+        "gcc-strlen-verify-range", GCC_SIM, 2, (),
+        """
+const volatile static char buffer[32];
+int test4(void) { return sprintf(buffer, "%s", buffer); }
+void main_test(void) {
+  memset(buffer, 'A', 32);
+  if (test4() != 3) abort();
+}
+int main(void) { main_test(); return 0; }
+""",
+    ),
+]
+
+
+@pytest.mark.parametrize("bug_id,target,opt,flags,mutant", CASES)
+def test_case_study_reproduces(benchmark, bug_id, target, opt, flags, mutant):
+    compiler = Compiler(*target)
+    result = benchmark.pedantic(
+        compiler.compile,
+        args=(mutant,),
+        kwargs={"opt_level": opt, "flags": flags},
+        rounds=1,
+        iterations=1,
+    )
+    failure = result.crash or result.hang
+    assert failure is not None, f"{bug_id} did not reproduce"
+    assert failure.bug_id == bug_id
+    print(f"\n{bug_id}: {failure.module} — {failure.message[:100]}")

@@ -1,0 +1,50 @@
+"""Figure 7: branch-coverage trends for all six fuzzers on both compilers.
+
+Paper shape: μCFuzz.s > μCFuzz.u > the best baseline (by 5.4-6.1%);
+GrayC > AFL++ > Csmith/YARPGen; supervised beats unsupervised by ~2%.
+"""
+
+import random
+
+from repro.fuzzing.campaign import make_fuzzer
+
+
+def _series(results, compiler_name):
+    return {
+        r.fuzzer: r for r in results if r.compiler == compiler_name
+    }
+
+
+def test_fig7_coverage_trends(benchmark, rq1_results, compilers, seeds, registry):
+    # Time one representative fuzzing step.
+    fuzzer = make_fuzzer(
+        "uCFuzz.s", compilers[0], seeds[:40], registry, random.Random(0)
+    )
+    benchmark.pedantic(fuzzer.step, rounds=3, iterations=1)
+
+    for compiler in compilers:
+        rows = _series(rq1_results, compiler.name)
+        print(f"\nFigure 7 — covered branches over virtual 24h ({compiler.name})")
+        hours = [t for t, _c in rows["uCFuzz.s"].coverage_trend]
+        marks = [0, len(hours) // 4, len(hours) // 2, 3 * len(hours) // 4, -1]
+        header = "".join(f"{hours[m]:>9.1f}h" for m in marks)
+        print(f"{'fuzzer':10s}{header}{'final':>9}")
+        for name, r in sorted(
+            rows.items(), key=lambda kv: -kv[1].final_coverage
+        ):
+            cells = "".join(
+                f"{r.coverage_trend[m][1]:>10d}" for m in marks
+            )
+            print(f"{name:10s}{cells}{r.final_coverage:>9d}")
+
+        # Shape assertions (who wins).
+        assert rows["uCFuzz.s"].final_coverage >= rows["uCFuzz.u"].final_coverage
+        best_baseline = max(
+            rows[n].final_coverage for n in ("AFL++", "GrayC", "Csmith", "YARPGen")
+        )
+        assert rows["uCFuzz.u"].final_coverage > best_baseline * 0.95
+        assert rows["uCFuzz.s"].final_coverage > best_baseline
+        # Coverage grows monotonically.
+        for r in rows.values():
+            values = [c for _t, c in r.coverage_trend]
+            assert values == sorted(values)

@@ -1,0 +1,44 @@
+"""§4.1: the generated-mutator census.
+
+Paper: 68 supervised + 50 unsupervised valid mutators; categories
+Variable 16 / Expression 50 / Statement 27 / Function 19 / Type 6;
+33 "creative" mutators; ~6 overlapping pairs; unsupervised campaign:
+100 invocations, 24 API failures, 50/76 valid (65.8%), invalid census
+6 refinement-deaths / 7 mismatched / 10 unthorough / 3 duplicates.
+"""
+
+from repro.mutators.catalog import catalog_summary
+
+
+def test_mutator_census(benchmark, metamut_campaign):
+    summary = benchmark(catalog_summary)
+
+    print("\n§4.1 — mutator library census (paper → measured)")
+    print(f"total valid mutators:   118 -> {summary.total}")
+    print(f"supervised (M_s):        68 -> {summary.supervised}")
+    print(f"unsupervised (M_u):      50 -> {summary.unsupervised}")
+    for cat, paper in (
+        ("Variable", 16), ("Expression", 50), ("Statement", 27),
+        ("Function", 19), ("Type", 6),
+    ):
+        print(f"  {cat:12s} {paper:>3} -> {summary.by_category[cat]}")
+    print(f"creative mutators:       33 -> {summary.creative}")
+    print(f"overlap pairs:           ~6 -> {len(summary.overlap_pairs)}")
+
+    census = metamut_campaign.invalid_census()
+    print("\nunsupervised generation campaign (100 invocations):")
+    print(f"  API/system failures:  24 -> {metamut_campaign.api_errors}")
+    print(f"  completed:            76 -> {metamut_campaign.completed}")
+    valid = len(metamut_campaign.valid)
+    rate = 100 * valid / max(metamut_campaign.completed, 1)
+    print(f"  valid:          50 (65.8%) -> {valid} ({rate:.1f}%)")
+    print(f"  refinement-loop deaths: 6 -> {census.get('refine-death', 0)}")
+    print(f"  mismatched impls:       7 -> {census.get('mismatched', 0)}")
+    print(f"  unthorough tests:      10 -> {census.get('unthorough', 0)}")
+    print(f"  duplicates:             3 -> {census.get('duplicate', 0)}")
+
+    assert summary.total == 118
+    assert summary.supervised == 68 and summary.unsupervised == 50
+    assert summary.creative == 33
+    assert len(summary.overlap_pairs) == 6
+    assert 0.5 < valid / metamut_campaign.completed < 0.85

@@ -1,0 +1,46 @@
+"""Table 1: bugs fixed by the validation-refinement loop, by category.
+
+Paper (for M_u): #1 not-compile 55, #2 hang 0, #3 crash 4, #4 no-output 11,
+#5 no-rewrite 1, #6 compile-error mutant 36 — 107 in total.
+"""
+
+import random
+
+from repro.llm.faults import sample_faults
+
+GOAL_LABELS = {
+    1: "u not compile",
+    2: "u hangs",
+    3: "u crashes",
+    4: "u outputs nothing",
+    5: "u does not rewrite",
+    6: "u creates compile-error mutant",
+}
+
+PAPER = {1: 55, 2: 0, 3: 4, 4: 11, 5: 1, 6: 36}
+
+
+def test_table1_refinement_fix_census(benchmark, metamut_campaign):
+    table = metamut_campaign.table1()
+    benchmark(sample_faults, random.Random(0))
+
+    print("\nTable 1 — bugs fixed by the refinement loop (M_u campaign)")
+    print(f"{'#':>2} {'Validation Goal Violation':34s} {'paper':>6} {'measured':>9}")
+    for goal in range(1, 7):
+        print(
+            f"{goal:>2} {GOAL_LABELS[goal]:34s} {PAPER[goal]:>6} "
+            f"{table[goal]:>9}"
+        )
+    total = sum(table.values())
+    print(f"{'':>2} {'Total':34s} {sum(PAPER.values()):>6} {total:>9}")
+    print(
+        f"faulty drafts among valid mutators: "
+        f"{metamut_campaign.faulty_drafts()}/{len(metamut_campaign.valid)} "
+        f"(paper: 27/50)"
+    )
+
+    # Shape assertions: the dominant categories match the paper.
+    assert table[1] == max(table.values())  # not-compiling dominates
+    assert table[6] >= sorted(table.values())[-2] or table[6] >= table[4]
+    assert table[2] == 0  # hang faults are never auto-fixed
+    assert total >= 40

@@ -1,0 +1,43 @@
+"""Table 2: per-mutator generation cost (tokens / QA rounds / time).
+
+Paper means: invention 1,158 tok; implementation 2,501 tok; bug-fixing 4,935
+tok; total 8,595 tok ≈ $0.5/mutator; 6 QA rounds; 346 s total.
+"""
+
+import random
+
+from repro.llm.costs import sample_invention_tokens
+
+PAPER_MEANS = {
+    ("Tokens", "Invention"): 1158,
+    ("Tokens", "Implementation"): 2501,
+    ("Tokens", "Bug-Fixing"): 4935,
+    ("Tokens", "Total"): 8595,
+    ("QA", "Total"): 6.0,
+    ("Time", "Total"): 346,
+}
+
+
+def test_table2_generation_cost(benchmark, metamut_campaign):
+    table = metamut_campaign.ledger.table2()
+    benchmark(sample_invention_tokens, random.Random(0))
+
+    print("\nTable 2 — generation cost of one mutator")
+    print(f"{'Metric':8s}{'Stage':16s}{'min':>8}{'max':>8}{'median':>8}{'mean':>8}  paper-mean")
+    for metric, stages in table.items():
+        for stage, s in stages.items():
+            paper = PAPER_MEANS.get((metric, stage), "")
+            print(
+                f"{metric:8s}{stage:16s}{s['min']:>8.0f}{s['max']:>8.0f}"
+                f"{s['median']:>8.0f}{s['mean']:>8.0f}  {paper}"
+            )
+    print(f"mean cost per mutator: ${metamut_campaign.ledger.mean_usd():.2f} (paper ~$0.50)")
+
+    tokens = table["Tokens"]
+    # Shape: implementation costs more than invention; bug-fixing dominates.
+    assert tokens["Implementation"]["mean"] > tokens["Invention"]["mean"]
+    assert tokens["Total"]["mean"] > 4000
+    assert 0.2 < metamut_campaign.ledger.mean_usd() < 1.0
+    # The majority of total time is spent on bug fixing (paper: 81.2%).
+    time = table["Time"]
+    assert time["Bug-Fixing"]["mean"] > time["Invention"]["mean"]

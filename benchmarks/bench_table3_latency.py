@@ -1,0 +1,33 @@
+"""Table 3: request/response time of a single mutator generation.
+
+Paper: wait-for-response 11/123/46/43 s; prepare-for-request 0/69/9/17 s.
+"""
+
+import random
+
+from repro.llm.costs import sample_wait_seconds
+
+PAPER = {
+    "Wait for Response (s)": {"min": 11, "max": 123, "median": 46, "mean": 43},
+    "Prepare for Request (s)": {"min": 0, "max": 69, "median": 9, "mean": 17},
+}
+
+
+def test_table3_request_response_time(benchmark, metamut_campaign):
+    table = metamut_campaign.ledger.table3()
+    benchmark(sample_wait_seconds, random.Random(0))
+
+    print("\nTable 3 — request/response time of a single mutator")
+    print(f"{'':26s}{'min':>7}{'max':>7}{'median':>7}{'mean':>7}   paper (min/max/med/mean)")
+    for row, s in table.items():
+        p = PAPER[row]
+        print(
+            f"{row:26s}{s['min']:>7.0f}{s['max']:>7.0f}{s['median']:>7.0f}"
+            f"{s['mean']:>7.0f}   {p['min']}/{p['max']}/{p['median']}/{p['mean']}"
+        )
+
+    waits = table["Wait for Response (s)"]
+    prepares = table["Prepare for Request (s)"]
+    # Shape: waiting on the LLM dominates request preparation.
+    assert waits["mean"] > prepares["mean"]
+    assert 11 <= waits["min"] and waits["max"] <= 123

@@ -1,0 +1,70 @@
+"""Table 4: unique crashes by compiler component per fuzzer.
+
+Paper (both compilers pooled):
+            Front-End  IR  Opt  Back-End  Total
+AFL++              15   4    0         0     19
+GrayC               5   3    5         0     13
+Csmith              0   0    0         0      0
+YARPGen             0   0    2         0      2
+uCFuzz.u           15  26   10         8     59
+uCFuzz.s           24  31   24        11     90
+"""
+
+MODULES = ("front-end", "ir-gen", "optimization", "back-end")
+PAPER = {
+    "AFL++": (15, 4, 0, 0),
+    "GrayC": (5, 3, 5, 0),
+    "Csmith": (0, 0, 0, 0),
+    "YARPGen": (0, 0, 2, 0),
+    "uCFuzz.u": (15, 26, 10, 8),
+    "uCFuzz.s": (24, 31, 24, 11),
+}
+
+
+def _pooled_modules(results, fuzzer):
+    out = {m: 0 for m in MODULES}
+    seen = set()
+    for r in results:
+        if r.fuzzer != fuzzer:
+            continue
+        for sig, rec in r.crashes.records.items():
+            if sig in seen:
+                continue
+            seen.add(sig)
+            out[rec.module] += 1
+    return out
+
+
+def test_table4_crash_module_distribution(benchmark, rq1_results):
+    rows = {
+        name: benchmark.pedantic(
+            _pooled_modules, args=(rq1_results, name), rounds=1
+        )
+        if name == "uCFuzz.s"
+        else _pooled_modules(rq1_results, name)
+        for name in PAPER
+    }
+
+    print("\nTable 4 — unique crashes by compiler component (paper | measured)")
+    print(f"{'fuzzer':10s}{'Front-End':>14}{'IR':>10}{'Opt':>10}{'Back-End':>12}{'Total':>10}")
+    for name, paper in PAPER.items():
+        m = rows[name]
+        cells = ""
+        for i, module in enumerate(MODULES):
+            cells += f"{paper[i]:>6}|{m[module]:<4}"
+        total = sum(m.values())
+        print(f"{name:10s}  {cells}{sum(paper):>4}|{total:<4}")
+
+    # Shape assertions.
+    mu_s, mu_u = rows["uCFuzz.s"], rows["uCFuzz.u"]
+    afl, grayc = rows["AFL++"], rows["GrayC"]
+    assert sum(rows["Csmith"].values()) == 0
+    # Only μCFuzz (and GrayC/YARPGen for opt) get past the front end at depth;
+    # AFL++'s crashes concentrate in the front end.
+    assert afl["front-end"] >= afl["optimization"]
+    assert afl["back-end"] == 0
+    # μCFuzz reaches every module, and deeper than everyone else.
+    deep = lambda m: m["ir-gen"] + m["optimization"] + m["back-end"]
+    assert deep(mu_s) > deep(afl) and deep(mu_s) > deep(grayc)
+    assert deep(mu_u) > deep(afl)
+    assert sum(mu_s.values()) >= sum(mu_u.values())

@@ -1,0 +1,90 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench regenerates one of the paper's tables or figures.  The expensive
+campaigns (the RQ1 six-fuzzer comparison, the MetaMut generation run, the
+macro-fuzzer bug hunt) are computed once per session and shared; the
+``benchmark`` fixture times a representative unit of each experiment so that
+``pytest benchmarks/ --benchmark-only`` both measures and reports.
+
+Scale note: the paper's RQ1 burns 720 CPU-days and RQ2 eight months; the
+benches run the same code paths at laptop scale (hundreds of fuzzing steps
+mapped onto the virtual 24-hour axis).  EXPERIMENTS.md records the resulting
+paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.mutators  # noqa: F401
+from repro.compiler import CLANG_SIM, GCC_SIM, Compiler
+from repro.fuzzing.campaign import Campaign, FUZZER_NAMES
+from repro.fuzzing.seedgen import generate_seeds
+from repro.metamut import MetaMut
+from repro.muast.registry import global_registry
+
+#: Fuzzing steps per fuzzer/compiler pair in the RQ1 campaign bench.
+RQ1_STEPS = 360
+#: Macro-fuzzer steps per compiler in the RQ2 bench.
+RQ2_STEPS = 420
+
+
+@pytest.fixture(scope="session")
+def registry():
+    return global_registry
+
+
+@pytest.fixture(scope="session")
+def seeds():
+    return generate_seeds(300)
+
+
+@pytest.fixture(scope="session")
+def compilers():
+    return [Compiler(*GCC_SIM), Compiler(*CLANG_SIM)]
+
+
+@pytest.fixture(scope="session")
+def rq1_results(compilers, seeds, registry):
+    """The six-fuzzer × two-compiler campaign behind Figs. 7-9, Tables 4-5."""
+    campaign = Campaign(compilers, seeds, registry, steps=RQ1_STEPS)
+    return campaign.run(FUZZER_NAMES)
+
+
+@pytest.fixture(scope="session")
+def metamut_campaign():
+    """The 100-invocation unsupervised run behind Tables 1-3 and §4.1."""
+    return MetaMut().run_unsupervised(100, seed=118)
+
+
+@pytest.fixture(scope="session")
+def rq2_hunt(compilers, seeds, registry):
+    """The macro-fuzzer field experiment behind Table 6."""
+    from repro.analysis.reports import BugReport, BugTracker
+    from repro.fuzzing.crash import CrashLog
+    from repro.fuzzing.macro import MacroFuzzer
+
+    tracker = BugTracker()
+    logs = {}
+    for compiler in compilers:
+        fuzzer = MacroFuzzer(
+            compiler,
+            random.Random(20240427),
+            seeds[:120],
+            list(registry),
+        )
+        log = CrashLog()
+        for i in range(RQ2_STEPS):
+            step = fuzzer.step()
+            rec = log.add(step.result, float(i), step.program)
+            if rec is not None:
+                tracker.report(
+                    BugReport(
+                        rec.bug_id, compiler.name, rec.module, rec.kind,
+                        rec.message,
+                    )
+                )
+        logs[compiler.name] = log
+    return tracker, logs

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Differential testing with the IR interpreter.
+
+Demonstrates the substrate behind the optimizer's correctness tests: compile
+the same program at -O0 and -O3 on both compiler personalities and check all
+four executions agree — the oracle real compiler-fuzzing campaigns use for
+miscompilation (as opposed to crash) bugs.
+
+Run:  python examples/differential_testing.py [count]
+"""
+
+import random
+import sys
+
+from repro.compiler import CLANG_SIM, GCC_SIM, Compiler
+from repro.compiler.interp import execute
+from repro.fuzzing.progen import GenPolicy, ProgramGenerator
+
+
+def main() -> None:
+    count = int(sys.argv[1]) if len(sys.argv) > 1 else 25
+    compilers = [Compiler(*GCC_SIM), Compiler(*CLANG_SIM)]
+    rng = random.Random(99)
+    disagreements = 0
+    for i in range(count):
+        program = ProgramGenerator(
+            random.Random(rng.randrange(1 << 62)), GenPolicy(max_stmts=8)
+        ).generate()
+        behaviours = set()
+        for compiler in compilers:
+            for opt in (0, 3):
+                result = compiler.compile(program, opt_level=opt)
+                if not result.ok:
+                    continue
+                behaviours.add(execute(result.module, fuel=250_000).observable)
+        status = "OK" if len(behaviours) <= 1 else "MISCOMPILATION?!"
+        if len(behaviours) > 1:
+            disagreements += 1
+            print(f"program {i}: {status}")
+            print(program)
+    print(
+        f"\n{count} programs x 2 compilers x (O0, O3): "
+        f"{disagreements} behavioural disagreements"
+    )
+    print("(the seeded bug population contains crashes and hangs only, so "
+          "a healthy run reports 0)")
+
+
+if __name__ == "__main__":
+    main()

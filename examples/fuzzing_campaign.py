@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""A miniature RQ1 campaign: μCFuzz vs the four baseline fuzzers.
+
+Runs each fuzzer for a few hundred steps against the simulated GCC-14 and
+prints the Figure-7/8-style comparison: coverage, unique crashes, and
+compilable-mutant ratio.
+
+Run:  python examples/fuzzing_campaign.py  [steps]
+"""
+
+import random
+import sys
+
+from repro.compiler import Compiler, GCC_SIM
+from repro.fuzzing.campaign import FUZZER_NAMES, make_fuzzer, run_campaign
+from repro.fuzzing.seedgen import generate_seeds
+from repro.muast.registry import global_registry
+
+
+def main() -> None:
+    steps = int(sys.argv[1]) if len(sys.argv) > 1 else 120
+    compiler = Compiler(*GCC_SIM)
+    seeds = generate_seeds(200)
+    print(f"target: {compiler.name} at -O2, {len(seeds)} seeds, "
+          f"{steps} steps per fuzzer (virtual 24h)\n")
+
+    print(f"{'fuzzer':10s}{'coverage':>10}{'crashes':>9}{'compilable':>12}  modules")
+    for name in FUZZER_NAMES:
+        fuzzer = make_fuzzer(
+            name, compiler, seeds, global_registry, random.Random(2024)
+        )
+        result = run_campaign(fuzzer, steps=steps)
+        modules = {
+            k: v for k, v in result.crashes.by_module().items() if v
+        }
+        print(
+            f"{name:10s}{result.final_coverage:>10}{len(result.crashes):>9}"
+            f"{100 * result.compilable_ratio:>11.1f}%  {modules or '-'}"
+        )
+
+    print(
+        "\nExpected shape (paper Fig. 7/8, Tables 4-5): μCFuzz.s wins "
+        "coverage and crashes,\nCsmith finds nothing, AFL++ compiles almost "
+        "nothing but reaches front-end bugs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""§6 extension: MetaMut mutators as mutation-testing operators.
+
+Measures how well a program's own behaviour oracle "kills" mutants produced
+by the 118 generated mutators — and shows the asymmetry the paper predicts:
+compiler-fuzzing mutators include many identity transformations (never
+killable) alongside aggressive semantic changes (killed trivially).
+
+Run:  python examples/mutation_testing.py
+"""
+
+import random
+
+from repro.analysis.mutation_testing import mutation_score
+from repro.muast.registry import global_registry
+import repro.mutators  # noqa: F401
+
+PROGRAM = """\
+int scores[8];
+int clamp(int v, int lo, int hi) {
+  if (v < lo) return lo;
+  if (v > hi) return hi;
+  return v;
+}
+int main(void) {
+  int i, total = 0;
+  for (i = 0; i < 8; i++) {
+    scores[i] = clamp(i * 7 - 10, 0, 25);
+    total += scores[i];
+  }
+  printf("%d %d %d\\n", scores[0], scores[7], total);
+  return total & 127;
+}
+"""
+
+
+def main() -> None:
+    score = mutation_score(
+        PROGRAM, mutants_per_mutator=2, rng=random.Random(11)
+    )
+    print(f"mutants:    {len(score.results)}")
+    print(f"killed:     {score.killed}")
+    print(f"survived:   {score.survived}")
+    print(f"invalid:    {score.invalid} (compile-error mutants, discarded)")
+    print(f"mutation score: {100 * score.score:.1f}%")
+
+    survivors = sorted({r.mutator for r in score.results if r.status == "survived"})
+    killers = sorted({r.mutator for r in score.results if r.status == "killed"})
+    print(f"\nsample surviving mutators (semantic no-ops): {survivors[:6]}")
+    print(f"sample killed mutators (behaviour changers):  {killers[:6]}")
+    print(
+        "\nAs §6 predicts, compiler-fuzzing mutators split into equivalence-"
+        "preserving\nrewrites (useless for mutation testing) and multi-point "
+        "semantic changes\n(killed by even a trivial oracle)."
+    )
+
+
+if __name__ == "__main__":
+    main()

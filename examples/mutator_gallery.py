@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""A gallery of the 118 generated mutators.
+
+Applies every mutator in the library to a feature-rich sample program and
+shows a unified diff of one mutation each — the quickest way to see what the
+MetaMut-generated search space looks like.
+
+Run:  python examples/mutator_gallery.py            # all 118
+      python examples/mutator_gallery.py Ret2V-ish  # filter by substring
+"""
+
+import difflib
+import random
+import sys
+
+from repro.metamut.testgen import tests_for
+from repro.muast import apply_mutator
+from repro.muast.registry import global_registry
+
+
+def show_one(name: str) -> bool:
+    info = global_registry.get(name)
+    for program in tests_for(info.structure, info.description):
+        for trial in range(6):
+            mutator = info.create(random.Random(trial * 131 + 7))
+            outcome = apply_mutator(mutator, program)
+            if not outcome.changed or outcome.mutant_text == program:
+                continue
+            diff = difflib.unified_diff(
+                program.splitlines(keepends=True),
+                outcome.mutant_text.splitlines(keepends=True),
+                n=0, lineterm="\n",
+            )
+            body = "".join(line for line in diff if not line.startswith(("---", "+++", "@@")))
+            print(f"--- {info.name} [{info.category}, {info.origin}"
+                  f"{', creative' if info.creative else ''}]")
+            print(f"    {info.description[:100]}")
+            print("".join(f"    {line}" for line in body.splitlines(True)[:8]))
+            return True
+    print(f"--- {name}: produced no mutation on the gallery programs")
+    return False
+
+
+def main() -> None:
+    needle = sys.argv[1].lower() if len(sys.argv) > 1 else ""
+    names = [n for n in global_registry.names() if needle in n.lower()]
+    shown = sum(1 for name in names if show_one(name))
+    print(f"\n{shown}/{len(names)} mutators demonstrated")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Setup script.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in offline
+environments without the ``wheel`` package (legacy editable install path).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of MetaMut (ASPLOS'24): fuzzing compilers with "
+        "LLM-generated mutation operators"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

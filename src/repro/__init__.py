@@ -1,0 +1,21 @@
+"""MetaMut reproduction: fuzzing compilers with LLM-generated mutators.
+
+A from-scratch Python reproduction of "The Mutators Reloaded: Fuzzing
+Compilers with Large Language Model Generated Mutation Operators"
+(Ou, Li, Jiang, Xu — ASPLOS 2024).
+
+Packages:
+
+* :mod:`repro.cast` — C front-end substrate (lexer/parser/AST/sema/rewriter);
+* :mod:`repro.muast` — the μAST mutation API (Figure 6) and mutator registry;
+* :mod:`repro.mutators` — the library of 118 generated mutators (§4.1);
+* :mod:`repro.compiler` — the simulated GCC/Clang targets: IR, optimizer,
+  back end, branch coverage, and the seeded-bug registry;
+* :mod:`repro.llm` — the simulated GPT-4 with calibrated cost/fault models;
+* :mod:`repro.metamut` — the MetaMut pipeline (Figure 1);
+* :mod:`repro.fuzzing` — μCFuzz (Algorithm 1), the macro fuzzer, and the
+  AFL++/GrayC/Csmith/YARPGen baselines;
+* :mod:`repro.analysis` — crash Venn diagrams, stats, bug-report modelling.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,16 @@
+"""Result analysis: crash Venn diagrams, summary statistics, bug reports."""
+
+from repro.analysis.venn import venn_counts, exclusive_counts
+from repro.analysis.stats import summarize
+from repro.analysis.reports import BugReport, BugTracker
+from repro.analysis.mutation_testing import MutationScore, mutation_score
+
+__all__ = [
+    "venn_counts",
+    "exclusive_counts",
+    "summarize",
+    "BugReport",
+    "BugTracker",
+    "MutationScore",
+    "mutation_score",
+]

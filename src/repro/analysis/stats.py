@@ -1,0 +1,43 @@
+"""Small summary-statistics helpers shared by the benches."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def summarize(values: Sequence[float]) -> dict[str, float]:
+    """min/max/median/mean, matching the paper's table format."""
+    if not values:
+        return {"min": 0.0, "max": 0.0, "median": 0.0, "mean": 0.0}
+    ordered = sorted(values)
+    n = len(ordered)
+    median = (
+        ordered[n // 2]
+        if n % 2
+        else (ordered[n // 2 - 1] + ordered[n // 2]) / 2
+    )
+    return {
+        "min": float(ordered[0]),
+        "max": float(ordered[-1]),
+        "median": float(median),
+        "mean": sum(ordered) / n,
+    }
+
+
+def format_table(
+    rows: list[tuple], headers: tuple[str, ...], widths: tuple[int, ...] | None = None
+) -> str:
+    """Fixed-width text table used by the bench harnesses' output."""
+    if widths is None:
+        widths = tuple(
+            max(len(str(headers[i])), *(len(str(r[i])) for r in rows)) + 2
+            if rows
+            else len(str(headers[i])) + 2
+            for i in range(len(headers))
+        )
+    def fmt(row: tuple) -> str:
+        return "".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+
+    lines = [fmt(headers), "-" * sum(widths)]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Crash-set Venn computations (Figure 8)."""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Hashable, Mapping, Sequence
+
+
+def venn_counts(
+    sets: Mapping[str, set[Hashable]]
+) -> dict[frozenset[str], int]:
+    """Exact region sizes of the Venn diagram over the given crash sets.
+
+    Returns region → count, where a region is the frozenset of set names
+    whose intersection (minus all others) the count describes.  Empty
+    regions are omitted.
+    """
+    names = list(sets)
+    out: dict[frozenset[str], int] = {}
+    for r in range(1, len(names) + 1):
+        for combo in combinations(names, r):
+            inside = set.intersection(*(sets[n] for n in combo))
+            outside = set().union(
+                *(sets[n] for n in names if n not in combo)
+            ) if len(combo) < len(names) else set()
+            region = inside - outside
+            if region:
+                out[frozenset(combo)] = len(region)
+    return out
+
+
+def exclusive_counts(sets: Mapping[str, set[Hashable]]) -> dict[str, int]:
+    """How many elements each set holds that no other set does."""
+    out = {}
+    for name, members in sets.items():
+        others = set().union(*(s for n, s in sets.items() if n != name))
+        out[name] = len(members - others)
+    return out
+
+
+def union_size(sets: Mapping[str, set[Hashable]]) -> int:
+    return len(set().union(*sets.values())) if sets else 0
+
+
+def exclusive_to_group(
+    sets: Mapping[str, set[Hashable]], group: Sequence[str]
+) -> int:
+    """Elements found only by the given group of sets (e.g. both μCFuzz
+    variants vs. all baselines — the paper's 72.8% exclusivity figure)."""
+    inside = set().union(*(sets[n] for n in group if n in sets))
+    outside = set().union(
+        *(s for n, s in sets.items() if n not in group)
+    )
+    return len(inside - outside)

@@ -1,0 +1,33 @@
+"""C front-end substrate: lexer, parser, AST, types, sema, and rewriter.
+
+This package plays the role that the Clang AST APIs play in the paper: it
+parses a rich subset of C into a typed AST with exact source ranges, checks
+whether a translation unit is "compilable" (parses + passes semantic
+analysis), and supports textual rewriting keyed on source ranges.
+"""
+
+from repro.cast.source import SourceFile, SourceLocation, SourceRange
+from repro.cast.lexer import Lexer, LexError, Token, TokenKind, tokenize
+from repro.cast.parser import ParseError, Parser, parse
+from repro.cast.sema import Sema, SemaError, check
+from repro.cast.rewriter import Rewriter
+from repro.cast.unparse import unparse
+
+__all__ = [
+    "SourceFile",
+    "SourceLocation",
+    "SourceRange",
+    "Lexer",
+    "LexError",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "ParseError",
+    "Parser",
+    "parse",
+    "Sema",
+    "SemaError",
+    "check",
+    "Rewriter",
+    "unparse",
+]

@@ -1,0 +1,570 @@
+"""AST node classes, mirroring the Clang node taxonomy.
+
+Every node records the exact :class:`~repro.cast.source.SourceRange` it was
+parsed from so that mutators can rewrite the original text.  ``Expr`` nodes
+additionally carry the ``QualType`` computed by semantic analysis.
+
+The class names intentionally match Clang's (``IfStmt``, ``BinaryOperator``,
+``DeclRefExpr``, ...) because the paper's [Program Structure] list — and hence
+the invented mutator descriptions — are phrased in terms of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Iterator, Optional
+
+from repro.cast.source import SourceLocation, SourceRange
+from repro.cast.types import QualType
+
+
+class Node:
+    """Base class of every AST node."""
+
+    range: SourceRange
+
+    @property
+    def kind(self) -> str:
+        """The Clang-style node-kind name (the class name)."""
+        return type(self).__name__
+
+    def children(self) -> Iterator["Node"]:
+        """Iterate over direct child nodes."""
+        return iter(())
+
+    def walk(self) -> Iterator["Node"]:
+        """Pre-order traversal of this node and all descendants."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            children = list(node.children())
+            children.reverse()
+            stack.extend(children)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{self.kind} {self.range!r}>"
+
+
+def _iter(*items: Optional[Node]) -> Iterator[Node]:
+    for item in items:
+        if item is not None:
+            yield item
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+class Decl(Node):
+    """Base class for declarations."""
+
+
+@dataclass(repr=False)
+class TranslationUnit(Node):
+    decls: list[Decl]
+    range: SourceRange
+
+    def children(self) -> Iterator[Node]:
+        return iter(self.decls)
+
+    def functions(self) -> list["FunctionDecl"]:
+        return [d for d in self.decls if isinstance(d, FunctionDecl)]
+
+
+@dataclass(repr=False)
+class VarDecl(Decl):
+    name: str
+    type: QualType
+    init: Optional["Expr"]
+    range: SourceRange
+    name_range: SourceRange
+    #: Range of the declaration-specifier tokens (e.g. ``static const int``).
+    specifier_range: SourceRange
+    storage: str | None = None  # "static", "extern", "typedef", ...
+    #: Location of the '=' introducing the initializer, if any.
+    init_eq_loc: SourceLocation | None = None
+    is_global: bool = False
+
+    def children(self) -> Iterator[Node]:
+        return _iter(self.init)
+
+
+@dataclass(repr=False)
+class ParmVarDecl(Decl):
+    name: str
+    type: QualType
+    range: SourceRange
+    name_range: SourceRange
+
+    def children(self) -> Iterator[Node]:
+        return iter(())
+
+
+@dataclass(repr=False)
+class FieldDecl(Decl):
+    name: str
+    type: QualType
+    range: SourceRange
+
+    def children(self) -> Iterator[Node]:
+        return iter(())
+
+
+@dataclass(repr=False)
+class RecordDecl(Decl):
+    tag_kind: str  # "struct" | "union"
+    name: str
+    fields: list[FieldDecl]
+    range: SourceRange
+    is_definition: bool = True
+
+    def children(self) -> Iterator[Node]:
+        return iter(self.fields)
+
+
+@dataclass(repr=False)
+class EnumConstantDecl(Decl):
+    name: str
+    value: Optional["Expr"]
+    range: SourceRange
+
+    def children(self) -> Iterator[Node]:
+        return _iter(self.value)
+
+
+@dataclass(repr=False)
+class EnumDecl(Decl):
+    name: str
+    constants: list[EnumConstantDecl]
+    range: SourceRange
+
+    def children(self) -> Iterator[Node]:
+        return iter(self.constants)
+
+
+@dataclass(repr=False)
+class TypedefDecl(Decl):
+    name: str
+    underlying: QualType
+    range: SourceRange
+
+    def children(self) -> Iterator[Node]:
+        return iter(())
+
+
+@dataclass(repr=False)
+class FunctionDecl(Decl):
+    name: str
+    return_type: QualType
+    params: list[ParmVarDecl]
+    body: Optional["CompoundStmt"]
+    range: SourceRange
+    name_range: SourceRange
+    #: Source range of the return-type tokens (μAST getReturnTypeSourceRange).
+    return_type_range: SourceRange
+    #: Locations of the parameter-list parentheses.
+    lparen_loc: SourceLocation | None = None
+    rparen_loc: SourceLocation | None = None
+    storage: str | None = None
+    variadic: bool = False
+    #: True for K&R-style declarations ``int f();`` (no parameter info).
+    no_prototype: bool = False
+    attributes: list[str] = dc_field(default_factory=list)
+
+    def children(self) -> Iterator[Node]:
+        yield from self.params
+        if self.body is not None:
+            yield self.body
+
+    @property
+    def is_definition(self) -> bool:
+        return self.body is not None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt(Node):
+    """Base class for statements."""
+
+
+@dataclass(repr=False)
+class CompoundStmt(Stmt):
+    stmts: list[Stmt]
+    range: SourceRange
+    lbrace_loc: SourceLocation | None = None
+    rbrace_loc: SourceLocation | None = None
+
+    def children(self) -> Iterator[Node]:
+        return iter(self.stmts)
+
+
+@dataclass(repr=False)
+class DeclStmt(Stmt):
+    decls: list[Decl]
+    range: SourceRange
+
+    def children(self) -> Iterator[Node]:
+        return iter(self.decls)
+
+
+@dataclass(repr=False)
+class ExprStmt(Stmt):
+    expr: "Expr"
+    range: SourceRange
+
+    def children(self) -> Iterator[Node]:
+        return _iter(self.expr)
+
+
+@dataclass(repr=False)
+class NullStmt(Stmt):
+    range: SourceRange
+
+
+@dataclass(repr=False)
+class IfStmt(Stmt):
+    cond: "Expr"
+    then_branch: Stmt
+    else_branch: Optional[Stmt]
+    range: SourceRange
+
+    def children(self) -> Iterator[Node]:
+        return _iter(self.cond, self.then_branch, self.else_branch)
+
+
+@dataclass(repr=False)
+class WhileStmt(Stmt):
+    cond: "Expr"
+    body: Stmt
+    range: SourceRange
+
+    def children(self) -> Iterator[Node]:
+        return _iter(self.cond, self.body)
+
+
+@dataclass(repr=False)
+class DoStmt(Stmt):
+    body: Stmt
+    cond: "Expr"
+    range: SourceRange
+
+    def children(self) -> Iterator[Node]:
+        return _iter(self.body, self.cond)
+
+
+@dataclass(repr=False)
+class ForStmt(Stmt):
+    init: Optional[Node]  # DeclStmt, ExprStmt, or None
+    cond: Optional["Expr"]
+    inc: Optional["Expr"]
+    body: Stmt
+    range: SourceRange
+
+    def children(self) -> Iterator[Node]:
+        return _iter(self.init, self.cond, self.inc, self.body)
+
+
+@dataclass(repr=False)
+class SwitchStmt(Stmt):
+    cond: "Expr"
+    body: Stmt
+    range: SourceRange
+
+    def children(self) -> Iterator[Node]:
+        return _iter(self.cond, self.body)
+
+    def cases(self) -> list["CaseStmt | DefaultStmt"]:
+        return [n for n in self.body.walk() if isinstance(n, (CaseStmt, DefaultStmt))]
+
+
+@dataclass(repr=False)
+class CaseStmt(Stmt):
+    expr: "Expr"
+    stmt: Optional[Stmt]
+    range: SourceRange
+
+    def children(self) -> Iterator[Node]:
+        return _iter(self.expr, self.stmt)
+
+
+@dataclass(repr=False)
+class DefaultStmt(Stmt):
+    stmt: Optional[Stmt]
+    range: SourceRange
+
+    def children(self) -> Iterator[Node]:
+        return _iter(self.stmt)
+
+
+@dataclass(repr=False)
+class BreakStmt(Stmt):
+    range: SourceRange
+
+
+@dataclass(repr=False)
+class ContinueStmt(Stmt):
+    range: SourceRange
+
+
+@dataclass(repr=False)
+class ReturnStmt(Stmt):
+    expr: Optional["Expr"]
+    range: SourceRange
+
+    def children(self) -> Iterator[Node]:
+        return _iter(self.expr)
+
+
+@dataclass(repr=False)
+class GotoStmt(Stmt):
+    label: str
+    range: SourceRange
+
+
+@dataclass(repr=False)
+class LabelStmt(Stmt):
+    name: str
+    stmt: Stmt
+    range: SourceRange
+
+    def children(self) -> Iterator[Node]:
+        return _iter(self.stmt)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr(Node):
+    """Base class for expressions; ``type`` is filled in by sema."""
+
+    type: QualType | None = None
+
+
+@dataclass(repr=False)
+class IntegerLiteral(Expr):
+    value: int
+    text: str
+    range: SourceRange
+    type: QualType | None = None
+
+
+@dataclass(repr=False)
+class FloatingLiteral(Expr):
+    value: float
+    text: str
+    range: SourceRange
+    type: QualType | None = None
+
+
+@dataclass(repr=False)
+class CharacterLiteral(Expr):
+    value: int
+    text: str
+    range: SourceRange
+    type: QualType | None = None
+
+
+@dataclass(repr=False)
+class StringLiteral(Expr):
+    value: str
+    text: str
+    range: SourceRange
+    type: QualType | None = None
+
+
+@dataclass(repr=False)
+class DeclRefExpr(Expr):
+    name: str
+    range: SourceRange
+    decl: Decl | None = None  # resolved by sema
+    type: QualType | None = None
+
+
+@dataclass(repr=False)
+class ParenExpr(Expr):
+    inner: Expr
+    range: SourceRange
+    type: QualType | None = None
+
+    def children(self) -> Iterator[Node]:
+        return _iter(self.inner)
+
+
+#: Unary operator spellings; ``__imag``/``__real`` are GNU extensions used by
+#: the paper's GCC #111819 case.
+UNARY_OPS = ("+", "-", "!", "~", "*", "&", "++", "--", "__imag", "__real")
+
+
+@dataclass(repr=False)
+class UnaryOperator(Expr):
+    op: str
+    operand: Expr
+    prefix: bool
+    range: SourceRange
+    type: QualType | None = None
+
+    def children(self) -> Iterator[Node]:
+        return _iter(self.operand)
+
+
+BINARY_OPS = (
+    "*", "/", "%", "+", "-", "<<", ">>", "<", ">", "<=", ">=",
+    "==", "!=", "&", "^", "|", "&&", "||", ",",
+)
+ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=", "<<=", ">>=", "&=", "^=", "|=")
+COMPARISON_OPS = ("<", ">", "<=", ">=", "==", "!=")
+LOGICAL_OPS = ("&&", "||")
+ARITHMETIC_OPS = ("*", "/", "%", "+", "-")
+BITWISE_OPS = ("&", "^", "|", "<<", ">>")
+
+
+@dataclass(repr=False)
+class BinaryOperator(Expr):
+    op: str
+    lhs: Expr
+    rhs: Expr
+    range: SourceRange
+    op_range: SourceRange | None = None
+    type: QualType | None = None
+
+    def children(self) -> Iterator[Node]:
+        return _iter(self.lhs, self.rhs)
+
+    @property
+    def is_assignment(self) -> bool:
+        return self.op in ASSIGN_OPS
+
+    @property
+    def is_comparison(self) -> bool:
+        return self.op in COMPARISON_OPS
+
+    @property
+    def is_logical(self) -> bool:
+        return self.op in LOGICAL_OPS
+
+
+@dataclass(repr=False)
+class ConditionalOperator(Expr):
+    cond: Expr
+    true_expr: Expr
+    false_expr: Expr
+    range: SourceRange
+    type: QualType | None = None
+
+    def children(self) -> Iterator[Node]:
+        return _iter(self.cond, self.true_expr, self.false_expr)
+
+
+@dataclass(repr=False)
+class CallExpr(Expr):
+    callee: Expr
+    args: list[Expr]
+    range: SourceRange
+    lparen_loc: SourceLocation | None = None
+    rparen_loc: SourceLocation | None = None
+    type: QualType | None = None
+
+    def children(self) -> Iterator[Node]:
+        yield self.callee
+        yield from self.args
+
+    def callee_name(self) -> str | None:
+        node = self.callee
+        while isinstance(node, ParenExpr):
+            node = node.inner
+        if isinstance(node, DeclRefExpr):
+            return node.name
+        return None
+
+
+@dataclass(repr=False)
+class ArraySubscriptExpr(Expr):
+    base: Expr
+    index: Expr
+    range: SourceRange
+    type: QualType | None = None
+
+    def children(self) -> Iterator[Node]:
+        return _iter(self.base, self.index)
+
+
+@dataclass(repr=False)
+class MemberExpr(Expr):
+    base: Expr
+    member: str
+    is_arrow: bool
+    range: SourceRange
+    type: QualType | None = None
+
+    def children(self) -> Iterator[Node]:
+        return _iter(self.base)
+
+
+@dataclass(repr=False)
+class CastExpr(Expr):
+    target_type: QualType
+    #: The spelled type text inside the parens, preserved for rewriting.
+    type_text: str
+    operand: Expr
+    range: SourceRange
+    type: QualType | None = None
+
+    def children(self) -> Iterator[Node]:
+        return _iter(self.operand)
+
+
+@dataclass(repr=False)
+class SizeofExpr(Expr):
+    #: Either an expression operand or a type operand (exactly one is set).
+    operand: Expr | None
+    type_operand: QualType | None
+    range: SourceRange
+    type: QualType | None = None
+
+    def children(self) -> Iterator[Node]:
+        return _iter(self.operand)
+
+
+@dataclass(repr=False)
+class InitListExpr(Expr):
+    inits: list[Expr]
+    range: SourceRange
+    type: QualType | None = None
+
+    def children(self) -> Iterator[Node]:
+        return iter(self.inits)
+
+
+@dataclass(repr=False)
+class CompoundLiteralExpr(Expr):
+    target_type: QualType
+    type_text: str
+    init: InitListExpr
+    range: SourceRange
+    type: QualType | None = None
+
+    def children(self) -> Iterator[Node]:
+        return _iter(self.init)
+
+
+#: All statement node kinds, handy for mutators that target "any statement".
+STMT_KINDS = (
+    "CompoundStmt", "DeclStmt", "ExprStmt", "NullStmt", "IfStmt", "WhileStmt",
+    "DoStmt", "ForStmt", "SwitchStmt", "CaseStmt", "DefaultStmt", "BreakStmt",
+    "ContinueStmt", "ReturnStmt", "GotoStmt", "LabelStmt",
+)
+
+#: All expression node kinds.
+EXPR_KINDS = (
+    "IntegerLiteral", "FloatingLiteral", "CharacterLiteral", "StringLiteral",
+    "DeclRefExpr", "ParenExpr", "UnaryOperator", "BinaryOperator",
+    "ConditionalOperator", "CallExpr", "ArraySubscriptExpr", "MemberExpr",
+    "CastExpr", "SizeofExpr", "InitListExpr", "CompoundLiteralExpr",
+)

@@ -1,0 +1,296 @@
+"""A C lexer producing tokens with exact source ranges.
+
+The lexer covers the full C operator set, all literal forms used by the seed
+corpus (decimal/octal/hex integers with suffixes, floats, chars, strings), and
+treats comments and preprocessor lines as skipped trivia. It never raises on
+merely *unusual* input; :class:`LexError` is reserved for input that cannot be
+tokenized at all (unterminated literals, stray bytes), which the simulated
+compiler front-end reports as an ordinary diagnostic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cast.source import SourceFile, SourceLocation, SourceRange
+
+
+class LexError(Exception):
+    """Raised when the input cannot be tokenized."""
+
+    def __init__(self, message: str, offset: int) -> None:
+        super().__init__(message)
+        self.message = message
+        self.offset = offset
+
+
+class TokenKind(enum.Enum):
+    IDENT = "identifier"
+    KEYWORD = "keyword"
+    INT_LITERAL = "integer literal"
+    FLOAT_LITERAL = "float literal"
+    CHAR_LITERAL = "char literal"
+    STRING_LITERAL = "string literal"
+    PUNCT = "punctuation"
+    EOF = "end of file"
+
+
+#: All keywords recognized by the front end.  This includes the C11 keywords
+#: we support plus the GNU/complex extensions the paper's bug cases rely on
+#: (``_Complex``, ``__imag``, ``__real``, ``__attribute__``).
+KEYWORDS = frozenset(
+    {
+        "auto", "break", "case", "char", "const", "continue", "default",
+        "do", "double", "else", "enum", "extern", "float", "for", "goto",
+        "if", "inline", "int", "long", "register", "restrict", "return",
+        "short", "signed", "sizeof", "static", "struct", "switch",
+        "typedef", "union", "unsigned", "void", "volatile", "while",
+        "_Bool", "_Complex", "__imag", "__real", "__attribute__",
+        "__restrict", "__inline",
+    }
+)
+
+#: Multi-character punctuators, longest first so maximal munch works.
+_PUNCTUATORS = sorted(
+    [
+        "<<=", ">>=", "...",
+        "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+        "+=", "-=", "*=", "/=", "%=", "&=", "^=", "|=",
+        "[", "]", "(", ")", "{", "}", ".", "&", "*", "+", "-", "~", "!",
+        "/", "%", "<", ">", "^", "|", "?", ":", ";", "=", ",", "#",
+    ],
+    key=len,
+    reverse=True,
+)
+
+#: Punctuators grouped by first character (maximal munch within each group).
+_PUNCT_BY_CHAR: dict[str, list[str]] = {}
+for _p in _PUNCTUATORS:
+    _PUNCT_BY_CHAR.setdefault(_p[0], []).append(_p)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    range: SourceRange
+
+    @property
+    def begin(self) -> SourceLocation:
+        return self.range.begin
+
+    @property
+    def end(self) -> SourceLocation:
+        return self.range.end
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == text
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.name}, {self.text!r})"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+class Lexer:
+    """Tokenizes C source text."""
+
+    def __init__(self, source: SourceFile) -> None:
+        self.source = source
+        self.text = source.text
+        self.pos = 0
+        self.preprocessor_lines: list[SourceRange] = []
+
+    def tokens(self) -> list[Token]:
+        """Tokenize the whole file, appending a final EOF token."""
+        out: list[Token] = []
+        while True:
+            tok = self._next_token()
+            out.append(tok)
+            if tok.kind is TokenKind.EOF:
+                return out
+
+    def tokens_best_effort(self) -> tuple[list[Token], LexError | None]:
+        """Tokenize as far as possible; on error return the prefix.
+
+        Used by the compiler driver to attribute coverage/features to
+        malformed inputs (a fuzzer's byte-mutants still exercise the lexer up
+        to the first broken token).
+        """
+        out: list[Token] = []
+        while True:
+            try:
+                tok = self._next_token()
+            except LexError as exc:
+                return out, exc
+            out.append(tok)
+            if tok.kind is TokenKind.EOF:
+                return out, None
+
+    # ------------------------------------------------------------------
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        if self.pos >= len(self.text):
+            loc = SourceLocation(self.pos)
+            return Token(TokenKind.EOF, "", SourceRange(loc, loc))
+
+        start = self.pos
+        ch = self.text[start]
+
+        if _is_ident_start(ch):
+            return self._lex_ident(start)
+        if ch.isdigit() or (ch == "." and self._peek_is_digit(start + 1)):
+            return self._lex_number(start)
+        if ch == "'":
+            return self._lex_char(start)
+        if ch == '"':
+            return self._lex_string(start)
+        if ch == "L" and self._peek(start + 1) in ("'", '"'):  # pragma: no cover
+            return self._lex_ident(start)
+        return self._lex_punct(start)
+
+    def _peek(self, i: int) -> str:
+        return self.text[i] if i < len(self.text) else ""
+
+    def _peek_is_digit(self, i: int) -> bool:
+        return i < len(self.text) and self.text[i].isdigit()
+
+    def _skip_trivia(self) -> None:
+        text, n = self.text, len(self.text)
+        while self.pos < n:
+            ch = text[self.pos]
+            if ch in " \t\r\n\f\v":
+                self.pos += 1
+            elif ch == "/" and self._peek(self.pos + 1) == "/":
+                while self.pos < n and text[self.pos] != "\n":
+                    self.pos += 1
+            elif ch == "/" and self._peek(self.pos + 1) == "*":
+                end = text.find("*/", self.pos + 2)
+                if end < 0:
+                    raise LexError("unterminated block comment", self.pos)
+                self.pos = end + 2
+            elif ch == "#" and self._at_line_start():
+                start = self.pos
+                # A preprocessor line, possibly with backslash continuations.
+                while self.pos < n:
+                    if text[self.pos] == "\n":
+                        if text[self.pos - 1] == "\\":
+                            self.pos += 1
+                            continue
+                        break
+                    self.pos += 1
+                self.preprocessor_lines.append(SourceRange.of(start, self.pos))
+            else:
+                return
+
+    def _at_line_start(self) -> bool:
+        i = self.pos - 1
+        while i >= 0 and self.text[i] in " \t":
+            i -= 1
+        return i < 0 or self.text[i] == "\n"
+
+    def _lex_ident(self, start: int) -> Token:
+        i = start
+        while i < len(self.text) and _is_ident_char(self.text[i]):
+            i += 1
+        self.pos = i
+        text = self.text[start:i]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, SourceRange.of(start, i))
+
+    def _lex_number(self, start: int) -> Token:
+        text = self.text
+        i = start
+        is_float = False
+        if text[i] == "0" and self._peek(i + 1) in "xX":
+            i += 2
+            while i < len(text) and (text[i] in "0123456789abcdefABCDEF"):
+                i += 1
+            # Hex floats are not supported; hex ints may carry suffixes.
+        else:
+            while i < len(text) and text[i].isdigit():
+                i += 1
+            if self._peek(i) == "." and not self._peek(i + 1) == ".":
+                is_float = True
+                i += 1
+                while i < len(text) and text[i].isdigit():
+                    i += 1
+            if self._peek(i) in "eE" and (
+                self._peek(i + 1).isdigit()
+                or (self._peek(i + 1) in "+-" and self._peek(i + 2).isdigit())
+            ):
+                is_float = True
+                i += 1
+                if text[i] in "+-":
+                    i += 1
+                while i < len(text) and text[i].isdigit():
+                    i += 1
+        # Suffixes: integer (u/U/l/L combos) or float (f/F/l/L).
+        while i < len(text) and text[i] in "uUlLfF":
+            if text[i] in "fF":
+                is_float = True
+            i += 1
+        self.pos = i
+        kind = TokenKind.FLOAT_LITERAL if is_float else TokenKind.INT_LITERAL
+        return Token(kind, text[start:i], SourceRange.of(start, i))
+
+    def _lex_char(self, start: int) -> Token:
+        i = start + 1
+        text = self.text
+        while i < len(text):
+            if text[i] == "\\":
+                i += 2
+                continue
+            if text[i] == "'":
+                self.pos = i + 1
+                return Token(
+                    TokenKind.CHAR_LITERAL,
+                    text[start : i + 1],
+                    SourceRange.of(start, i + 1),
+                )
+            if text[i] == "\n":
+                break
+            i += 1
+        raise LexError("unterminated character literal", start)
+
+    def _lex_string(self, start: int) -> Token:
+        i = start + 1
+        text = self.text
+        while i < len(text):
+            if text[i] == "\\":
+                i += 2
+                continue
+            if text[i] == '"':
+                self.pos = i + 1
+                return Token(
+                    TokenKind.STRING_LITERAL,
+                    text[start : i + 1],
+                    SourceRange.of(start, i + 1),
+                )
+            if text[i] == "\n":
+                break
+            i += 1
+        raise LexError("unterminated string literal", start)
+
+    def _lex_punct(self, start: int) -> Token:
+        for p in _PUNCT_BY_CHAR.get(self.text[start], ()):
+            if len(p) == 1 or self.text.startswith(p, start):
+                self.pos = start + len(p)
+                return Token(TokenKind.PUNCT, p, SourceRange.of(start, self.pos))
+        raise LexError(f"stray character {self.text[start]!r}", start)
+
+
+def tokenize(text: str, name: str = "<input>") -> list[Token]:
+    """Tokenize ``text`` and return the token list (including EOF)."""
+    return Lexer(SourceFile(text, name)).tokens()

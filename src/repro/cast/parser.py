@@ -1,0 +1,1009 @@
+"""A recursive-descent parser for the C subset.
+
+The grammar covers what the seed corpus, the generated mutants, and the
+paper's bug cases need: full expression syntax with C precedence, all
+statement forms (including ``goto``/labels and ``switch``), declarations with
+storage classes and qualifiers, pointers, arrays, structs/unions/enums,
+typedefs, casts, compound literals, ``sizeof``, variadic prototypes, and the
+GNU ``__imag``/``__real``/``__attribute__``/``_Complex`` extensions used by
+the paper's GCC #111819 case.
+
+Every node carries its exact source range so the rewriter can splice text.
+"""
+
+from __future__ import annotations
+
+from repro.cast import ast_nodes as ast
+from repro.cast.lexer import Lexer, LexError, Token, TokenKind
+from repro.cast.source import SourceFile, SourceLocation, SourceRange
+from repro.cast import types as ct
+
+
+class ParseError(Exception):
+    """Raised when the input is not a valid program in our C subset."""
+
+    def __init__(self, message: str, loc: SourceLocation | None = None) -> None:
+        super().__init__(message)
+        self.message = message
+        self.loc = loc
+
+
+#: Tokens that may begin a declaration specifier.
+_SPECIFIER_KEYWORDS = frozenset(
+    {
+        "void", "char", "short", "int", "long", "float", "double", "signed",
+        "unsigned", "_Bool", "_Complex", "struct", "union", "enum", "const",
+        "volatile", "restrict", "__restrict", "static", "extern", "typedef",
+        "register", "auto", "inline", "__inline", "__attribute__",
+    }
+)
+
+_STORAGE_KEYWORDS = frozenset({"static", "extern", "typedef", "register", "auto"})
+
+#: Binary operator precedence (higher binds tighter).  Assignment and the
+#: conditional operator are handled separately (right-associative).
+_BINOP_PRECEDENCE = {
+    "*": 10, "/": 10, "%": 10,
+    "+": 9, "-": 9,
+    "<<": 8, ">>": 8,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "==": 6, "!=": 6,
+    "&": 5, "^": 4, "|": 3,
+    "&&": 2, "||": 1,
+}
+
+
+class Parser:
+    """Parses a :class:`SourceFile` into a :class:`TranslationUnit`."""
+
+    def __init__(self, source: SourceFile, tokens: list[Token] | None = None) -> None:
+        self.source = source
+        if tokens is not None:
+            self.tokens = tokens
+        else:
+            try:
+                self.tokens = Lexer(source).tokens()
+            except LexError as exc:
+                raise ParseError(exc.message, SourceLocation(exc.offset)) from exc
+        self.pos = 0
+        self.typedef_names: set[str] = set()
+        self.record_names: dict[str, ct.RecordType] = {}
+        self.typedefs: dict[str, ct.QualType] = {}
+        self._anon_counter = 0
+
+    # -- token primitives ------------------------------------------------
+
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, n: int = 1) -> Token:
+        i = min(self.pos + n, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def accept(self, text: str) -> Token | None:
+        if self.tok.text == text and self.tok.kind in (
+            TokenKind.PUNCT,
+            TokenKind.KEYWORD,
+        ):
+            return self.advance()
+        return None
+
+    def expect(self, text: str) -> Token:
+        tok = self.accept(text)
+        if tok is None:
+            raise ParseError(
+                f"expected {text!r} but found {self.tok.text!r}", self.tok.begin
+            )
+        return tok
+
+    def _error(self, message: str) -> ParseError:
+        return ParseError(message, self.tok.begin)
+
+    # -- entry point -------------------------------------------------------
+
+    def parse(self) -> ast.TranslationUnit:
+        decls: list[ast.Decl] = []
+        while self.tok.kind is not TokenKind.EOF:
+            decls.extend(self.parse_external_declaration())
+        end = self.tokens[-1].end
+        return ast.TranslationUnit(decls, SourceRange(SourceLocation(0), end))
+
+    # -- declarations -------------------------------------------------------
+
+    def parse_external_declaration(self) -> list[ast.Decl]:
+        if self.accept(";"):
+            return []
+        start = self.tok.begin
+        spec = self._parse_declaration_specifiers()
+        # Tag-only declaration: ``struct S { ... };`` or ``enum E {...};``
+        if self.accept(";"):
+            return [d for d in spec.tag_decls]
+        decls: list[ast.Decl] = list(spec.tag_decls)
+        first = True
+        while True:
+            declarator = self._parse_declarator(spec.base_type)
+            if first and isinstance(declarator.type.type, ct.FunctionType):
+                if self.tok.is_punct("{"):
+                    decls.append(self._parse_function_definition(spec, declarator, start))
+                    return decls
+            first = False
+            decls.append(self._finish_declaration(spec, declarator, start))
+            if self.accept(","):
+                continue
+            self.expect(";")
+            return decls
+
+    class _Spec:
+        """Parsed declaration specifiers."""
+
+        def __init__(self) -> None:
+            self.base_type: ct.QualType = ct.INT
+            self.storage: str | None = None
+            self.is_inline = False
+            self.tag_decls: list[ast.Decl] = []
+            self.range: SourceRange | None = None
+            self.attributes: list[str] = []
+
+    def _starts_type(self, tok: Token | None = None) -> bool:
+        tok = tok or self.tok
+        if tok.kind is TokenKind.KEYWORD and tok.text in _SPECIFIER_KEYWORDS:
+            return True
+        return tok.kind is TokenKind.IDENT and tok.text in self.typedef_names
+
+    def _parse_declaration_specifiers(self) -> "Parser._Spec":
+        spec = Parser._Spec()
+        start = self.tok.begin
+        parts: list[str] = []
+        const = volatile = False
+        seen_type = False
+        while True:
+            tok = self.tok
+            text = tok.text
+            if tok.kind is TokenKind.KEYWORD and text in _STORAGE_KEYWORDS:
+                spec.storage = text
+                self.advance()
+            elif tok.is_keyword("inline") or tok.is_keyword("__inline"):
+                spec.is_inline = True
+                self.advance()
+            elif tok.is_keyword("const"):
+                const = True
+                self.advance()
+            elif tok.is_keyword("volatile"):
+                volatile = True
+                self.advance()
+            elif tok.is_keyword("restrict") or tok.is_keyword("__restrict"):
+                self.advance()
+            elif tok.is_keyword("__attribute__"):
+                spec.attributes.append(self._parse_attribute())
+            elif tok.is_keyword("struct") or tok.is_keyword("union"):
+                seen_type = True
+                base = self._parse_record_specifier(spec)
+                parts = ["<record>"]
+                spec.base_type = base
+            elif tok.is_keyword("enum"):
+                seen_type = True
+                base = self._parse_enum_specifier(spec)
+                parts = ["<enum>"]
+                spec.base_type = base
+            elif tok.kind is TokenKind.KEYWORD and text in {
+                "void", "char", "short", "int", "long", "float", "double",
+                "signed", "unsigned", "_Bool", "_Complex",
+            }:
+                seen_type = True
+                parts.append(text)
+                self.advance()
+            elif (
+                tok.kind is TokenKind.IDENT
+                and text in self.typedef_names
+                and not seen_type
+            ):
+                seen_type = True
+                parts = ["<typedef>"]
+                spec.base_type = self.typedefs[text]
+                self.advance()
+            else:
+                break
+        if parts and parts[0] not in ("<record>", "<enum>", "<typedef>"):
+            spec.base_type = self._builtin_from_parts(parts)
+        if const or volatile:
+            spec.base_type = ct.QualType(
+                spec.base_type.type,
+                const=const or spec.base_type.const,
+                volatile=volatile or spec.base_type.volatile,
+            )
+        spec.range = SourceRange(start, self.tokens[self.pos - 1].end)
+        return spec
+
+    def _builtin_from_parts(self, parts: list[str]) -> ct.QualType:
+        key = " ".join(sorted(parts))
+        table = {
+            "void": ct.BuiltinKind.VOID,
+            "_Bool": ct.BuiltinKind.BOOL,
+            "char": ct.BuiltinKind.CHAR,
+            "char signed": ct.BuiltinKind.SCHAR,
+            "char unsigned": ct.BuiltinKind.UCHAR,
+            "short": ct.BuiltinKind.SHORT,
+            "int short": ct.BuiltinKind.SHORT,
+            "short signed": ct.BuiltinKind.SHORT,
+            "int short signed": ct.BuiltinKind.SHORT,
+            "short unsigned": ct.BuiltinKind.USHORT,
+            "int short unsigned": ct.BuiltinKind.USHORT,
+            "int": ct.BuiltinKind.INT,
+            "signed": ct.BuiltinKind.INT,
+            "int signed": ct.BuiltinKind.INT,
+            "unsigned": ct.BuiltinKind.UINT,
+            "int unsigned": ct.BuiltinKind.UINT,
+            "long": ct.BuiltinKind.LONG,
+            "int long": ct.BuiltinKind.LONG,
+            "long signed": ct.BuiltinKind.LONG,
+            "int long signed": ct.BuiltinKind.LONG,
+            "long unsigned": ct.BuiltinKind.ULONG,
+            "int long unsigned": ct.BuiltinKind.ULONG,
+            "long long": ct.BuiltinKind.LONGLONG,
+            "int long long": ct.BuiltinKind.LONGLONG,
+            "long long signed": ct.BuiltinKind.LONGLONG,
+            "int long long signed": ct.BuiltinKind.LONGLONG,
+            "long long unsigned": ct.BuiltinKind.ULONGLONG,
+            "int long long unsigned": ct.BuiltinKind.ULONGLONG,
+            "float": ct.BuiltinKind.FLOAT,
+            "double": ct.BuiltinKind.DOUBLE,
+            "double long": ct.BuiltinKind.LONGDOUBLE,
+            "_Complex double": ct.BuiltinKind.COMPLEX_DOUBLE,
+            "_Complex float": ct.BuiltinKind.COMPLEX_FLOAT,
+            "_Complex": ct.BuiltinKind.COMPLEX_DOUBLE,
+        }
+        kind = table.get(key)
+        if kind is None:
+            raise self._error(f"unsupported type specifier combination {key!r}")
+        return ct.QualType(ct.BuiltinType(kind))
+
+    def _parse_attribute(self) -> str:
+        start = self.tok.begin
+        self.expect("__attribute__")
+        self.expect("(")
+        self.expect("(")
+        depth = 2
+        while depth > 0:
+            tok = self.advance()
+            if tok.kind is TokenKind.EOF:
+                raise self._error("unterminated __attribute__")
+            if tok.is_punct("("):
+                depth += 1
+            elif tok.is_punct(")"):
+                depth -= 1
+        end = self.tokens[self.pos - 1].end
+        return self.source.slice(SourceRange(start, end))
+
+    def _parse_record_specifier(self, spec: "Parser._Spec") -> ct.QualType:
+        start = self.tok.begin
+        tag_kind = self.advance().text  # struct | union
+        name = None
+        if self.tok.kind is TokenKind.IDENT:
+            name = self.advance().text
+        if name is None and not self.tok.is_punct("{"):
+            raise self._error("anonymous record requires a definition")
+        if name is None:
+            self._anon_counter += 1
+            name = f"__anon{self._anon_counter}"
+        if not self.tok.is_punct("{"):
+            rec = self.record_names.get(name) or ct.RecordType(tag_kind, name)
+            self.record_names.setdefault(name, rec)
+            return ct.QualType(rec)
+        self.expect("{")
+        fields: list[ast.FieldDecl] = []
+        while not self.tok.is_punct("}"):
+            fspec = self._parse_declaration_specifiers()
+            while True:
+                fstart = self.tok.begin
+                declarator = self._parse_declarator(fspec.base_type)
+                if declarator.name is None:
+                    raise self._error("unnamed struct field")
+                fields.append(
+                    ast.FieldDecl(
+                        declarator.name,
+                        declarator.type,
+                        SourceRange(fstart, self.tokens[self.pos - 1].end),
+                    )
+                )
+                if not self.accept(","):
+                    break
+            self.expect(";")
+        rbrace = self.expect("}")
+        rec = ct.RecordType(
+            tag_kind, name, tuple((f.name, f.type) for f in fields)
+        )
+        self.record_names[name] = rec
+        spec.tag_decls.append(
+            ast.RecordDecl(tag_kind, name, fields, SourceRange(start, rbrace.end))
+        )
+        return ct.QualType(rec)
+
+    def _parse_enum_specifier(self, spec: "Parser._Spec") -> ct.QualType:
+        start = self.tok.begin
+        self.expect("enum")
+        name = None
+        if self.tok.kind is TokenKind.IDENT:
+            name = self.advance().text
+        if name is None:
+            self._anon_counter += 1
+            name = f"__anon{self._anon_counter}"
+        if not self.tok.is_punct("{"):
+            return ct.QualType(ct.EnumType(name))
+        self.expect("{")
+        constants: list[ast.EnumConstantDecl] = []
+        while not self.tok.is_punct("}"):
+            cstart = self.tok.begin
+            if self.tok.kind is not TokenKind.IDENT:
+                raise self._error("expected enumerator name")
+            cname = self.advance().text
+            value = None
+            if self.accept("="):
+                value = self.parse_assignment_expr()
+            constants.append(
+                ast.EnumConstantDecl(
+                    cname, value, SourceRange(cstart, self.tokens[self.pos - 1].end)
+                )
+            )
+            if not self.accept(","):
+                break
+        rbrace = self.expect("}")
+        spec.tag_decls.append(
+            ast.EnumDecl(name, constants, SourceRange(start, rbrace.end))
+        )
+        return ct.QualType(ct.EnumType(name))
+
+    class _Declarator:
+        def __init__(self) -> None:
+            self.name: str | None = None
+            self.name_range: SourceRange | None = None
+            self.type: ct.QualType = ct.INT
+            self.params: list[ast.ParmVarDecl] = []
+            self.variadic = False
+            self.is_function = False
+            self.prototyped = False
+            self.lparen_loc: SourceLocation | None = None
+            self.rparen_loc: SourceLocation | None = None
+
+    def _parse_declarator(self, base: ct.QualType) -> "Parser._Declarator":
+        d = Parser._Declarator()
+        ty = base
+        while self.accept("*"):
+            const = volatile = False
+            while True:
+                if self.accept("const"):
+                    const = True
+                elif self.accept("volatile"):
+                    volatile = True
+                elif self.accept("restrict") or self.accept("__restrict"):
+                    pass
+                else:
+                    break
+            ty = ct.QualType(ct.PointerType(ty), const=const, volatile=volatile)
+        if self.tok.kind is TokenKind.IDENT:
+            tok = self.advance()
+            d.name = tok.text
+            d.name_range = tok.range
+        # Suffixes: array dimensions then possibly a parameter list, or a
+        # parameter list directly (functions returning arrays are invalid C).
+        if self.tok.is_punct("("):
+            d.lparen_loc = self.tok.begin
+            self.advance()
+            d.is_function = True
+            self._parse_parameter_list(d)
+            d.rparen_loc = self.tokens[self.pos - 1].begin
+            ty = ct.QualType(
+                ct.FunctionType(
+                    ty,
+                    tuple(p.type for p in d.params),
+                    variadic=d.variadic,
+                    no_prototype=not d.prototyped,
+                )
+            )
+        else:
+            dims: list[int | None] = []
+            while self.accept("["):
+                if self.tok.is_punct("]"):
+                    dims.append(None)
+                else:
+                    size_expr = self.parse_conditional_expr()
+                    dims.append(self._const_int(size_expr))
+                self.expect("]")
+            for size in reversed(dims):
+                ty = ct.array_of(ty, size)
+        while self.tok.is_keyword("__attribute__"):
+            self._parse_attribute()
+        d.type = ty
+        return d
+
+    def _const_int(self, expr: ast.Expr) -> int | None:
+        """Best-effort constant folding for array sizes."""
+        if isinstance(expr, ast.IntegerLiteral):
+            return expr.value
+        if isinstance(expr, ast.ParenExpr):
+            return self._const_int(expr.inner)
+        if isinstance(expr, ast.BinaryOperator):
+            lhs = self._const_int(expr.lhs)
+            rhs = self._const_int(expr.rhs)
+            if lhs is None or rhs is None:
+                return None
+            try:
+                return {
+                    "+": lhs + rhs, "-": lhs - rhs, "*": lhs * rhs,
+                    "/": lhs // rhs if rhs else None,
+                    "%": lhs % rhs if rhs else None,
+                    "<<": lhs << (rhs & 63), ">>": lhs >> (rhs & 63),
+                }.get(expr.op)
+            except (ValueError, OverflowError):
+                return None
+        return None
+
+    def _parse_parameter_list(self, d: "Parser._Declarator") -> None:
+        if self.accept(")"):
+            return  # K&R-style: no prototype information
+        d.prototyped = True
+        if self.tok.is_keyword("void") and self.peek().is_punct(")"):
+            self.advance()
+            self.expect(")")
+            return
+        while True:
+            if self.accept("..."):
+                d.variadic = True
+                self.expect(")")
+                return
+            pstart = self.tok.begin
+            spec = self._parse_declaration_specifiers()
+            decl = self._parse_declarator(spec.base_type)
+            ptype = decl.type.decayed()
+            d.params.append(
+                ast.ParmVarDecl(
+                    decl.name or "",
+                    ptype,
+                    SourceRange(pstart, self.tokens[self.pos - 1].end),
+                    decl.name_range or SourceRange(pstart, pstart),
+                )
+            )
+            if self.accept(","):
+                continue
+            self.expect(")")
+            return
+
+    def _finish_declaration(
+        self,
+        spec: "Parser._Spec",
+        declarator: "Parser._Declarator",
+        start: SourceLocation,
+    ) -> ast.Decl:
+        if declarator.name is None:
+            raise self._error("declaration without a name")
+        if spec.storage == "typedef":
+            self.typedef_names.add(declarator.name)
+            self.typedefs[declarator.name] = declarator.type
+            return ast.TypedefDecl(
+                declarator.name,
+                declarator.type,
+                SourceRange(start, self.tokens[self.pos - 1].end),
+            )
+        if declarator.is_function:
+            # A function prototype declaration.
+            ftype = declarator.type.type
+            assert isinstance(ftype, ct.FunctionType)
+            return ast.FunctionDecl(
+                declarator.name,
+                ftype.result,
+                declarator.params,
+                None,
+                SourceRange(start, self.tokens[self.pos - 1].end),
+                declarator.name_range or SourceRange(start, start),
+                spec.range or SourceRange(start, start),
+                lparen_loc=declarator.lparen_loc,
+                rparen_loc=declarator.rparen_loc,
+                storage=spec.storage,
+                variadic=ftype.variadic,
+                no_prototype=ftype.no_prototype,
+                attributes=list(spec.attributes),
+            )
+        init = None
+        eq_loc = None
+        if self.tok.is_punct("="):
+            eq_loc = self.tok.begin
+            self.advance()
+            init = self.parse_initializer()
+        return ast.VarDecl(
+            declarator.name,
+            declarator.type,
+            init,
+            SourceRange(start, self.tokens[self.pos - 1].end),
+            declarator.name_range or SourceRange(start, start),
+            spec.range or SourceRange(start, start),
+            storage=spec.storage,
+            init_eq_loc=eq_loc,
+        )
+
+    def _parse_function_definition(
+        self,
+        spec: "Parser._Spec",
+        declarator: "Parser._Declarator",
+        start: SourceLocation,
+    ) -> ast.FunctionDecl:
+        ftype = declarator.type.type
+        assert isinstance(ftype, ct.FunctionType)
+        body = self.parse_compound_stmt()
+        return ast.FunctionDecl(
+            declarator.name or "",
+            ftype.result,
+            declarator.params,
+            body,
+            SourceRange(start, body.range.end),
+            declarator.name_range or SourceRange(start, start),
+            spec.range or SourceRange(start, start),
+            lparen_loc=declarator.lparen_loc,
+            rparen_loc=declarator.rparen_loc,
+            storage=spec.storage,
+            variadic=ftype.variadic,
+            no_prototype=ftype.no_prototype,
+            attributes=list(spec.attributes),
+        )
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_compound_stmt(self) -> ast.CompoundStmt:
+        lbrace = self.expect("{")
+        stmts: list[ast.Stmt] = []
+        while not self.tok.is_punct("}"):
+            if self.tok.kind is TokenKind.EOF:
+                raise self._error("unterminated compound statement")
+            stmts.append(self.parse_stmt())
+        rbrace = self.expect("}")
+        return ast.CompoundStmt(
+            stmts,
+            SourceRange(lbrace.begin, rbrace.end),
+            lbrace_loc=lbrace.begin,
+            rbrace_loc=rbrace.begin,
+        )
+
+    def parse_stmt(self) -> ast.Stmt:
+        tok = self.tok
+        start = tok.begin
+        if tok.is_punct("{"):
+            return self.parse_compound_stmt()
+        if tok.is_punct(";"):
+            self.advance()
+            return ast.NullStmt(SourceRange(start, self.tokens[self.pos - 1].end))
+        if tok.is_keyword("if"):
+            return self._parse_if(start)
+        if tok.is_keyword("while"):
+            self.advance()
+            self.expect("(")
+            cond = self.parse_expr()
+            self.expect(")")
+            body = self.parse_stmt()
+            return ast.WhileStmt(cond, body, SourceRange(start, body.range.end))
+        if tok.is_keyword("do"):
+            self.advance()
+            body = self.parse_stmt()
+            self.expect("while")
+            self.expect("(")
+            cond = self.parse_expr()
+            self.expect(")")
+            semi = self.expect(";")
+            return ast.DoStmt(body, cond, SourceRange(start, semi.end))
+        if tok.is_keyword("for"):
+            return self._parse_for(start)
+        if tok.is_keyword("switch"):
+            self.advance()
+            self.expect("(")
+            cond = self.parse_expr()
+            self.expect(")")
+            body = self.parse_stmt()
+            return ast.SwitchStmt(cond, body, SourceRange(start, body.range.end))
+        if tok.is_keyword("case"):
+            self.advance()
+            expr = self.parse_conditional_expr()
+            self.expect(":")
+            stmt = None if self._case_boundary() else self.parse_stmt()
+            end = stmt.range.end if stmt else self.tokens[self.pos - 1].end
+            return ast.CaseStmt(expr, stmt, SourceRange(start, end))
+        if tok.is_keyword("default"):
+            self.advance()
+            self.expect(":")
+            stmt = None if self._case_boundary() else self.parse_stmt()
+            end = stmt.range.end if stmt else self.tokens[self.pos - 1].end
+            return ast.DefaultStmt(stmt, SourceRange(start, end))
+        if tok.is_keyword("break"):
+            self.advance()
+            semi = self.expect(";")
+            return ast.BreakStmt(SourceRange(start, semi.end))
+        if tok.is_keyword("continue"):
+            self.advance()
+            semi = self.expect(";")
+            return ast.ContinueStmt(SourceRange(start, semi.end))
+        if tok.is_keyword("return"):
+            self.advance()
+            expr = None
+            if not self.tok.is_punct(";"):
+                expr = self.parse_expr()
+            semi = self.expect(";")
+            return ast.ReturnStmt(expr, SourceRange(start, semi.end))
+        if tok.is_keyword("goto"):
+            self.advance()
+            if self.tok.kind is not TokenKind.IDENT:
+                raise self._error("expected label after goto")
+            label = self.advance().text
+            semi = self.expect(";")
+            return ast.GotoStmt(label, SourceRange(start, semi.end))
+        if tok.kind is TokenKind.IDENT and self.peek().is_punct(":"):
+            name = self.advance().text
+            self.expect(":")
+            stmt = self.parse_stmt()
+            return ast.LabelStmt(name, stmt, SourceRange(start, stmt.range.end))
+        if self._starts_type():
+            decls = self._parse_local_declaration()
+            return ast.DeclStmt(
+                decls, SourceRange(start, self.tokens[self.pos - 1].end)
+            )
+        expr = self.parse_expr()
+        semi = self.expect(";")
+        return ast.ExprStmt(expr, SourceRange(start, semi.end))
+
+    def _case_boundary(self) -> bool:
+        return (
+            self.tok.is_punct("}")
+            or self.tok.is_keyword("case")
+            or self.tok.is_keyword("default")
+        )
+
+    def _parse_if(self, start: SourceLocation) -> ast.IfStmt:
+        self.expect("if")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then_branch = self.parse_stmt()
+        else_branch = None
+        if self.accept("else"):
+            else_branch = self.parse_stmt()
+        end = (else_branch or then_branch).range.end
+        return ast.IfStmt(cond, then_branch, else_branch, SourceRange(start, end))
+
+    def _parse_for(self, start: SourceLocation) -> ast.ForStmt:
+        self.expect("for")
+        self.expect("(")
+        init: ast.Node | None = None
+        if not self.tok.is_punct(";"):
+            istart = self.tok.begin
+            if self._starts_type():
+                decls = self._parse_local_declaration()
+                init = ast.DeclStmt(
+                    decls, SourceRange(istart, self.tokens[self.pos - 1].end)
+                )
+            else:
+                expr = self.parse_expr()
+                semi = self.expect(";")
+                init = ast.ExprStmt(expr, SourceRange(istart, semi.end))
+        else:
+            self.expect(";")
+        cond = None
+        if not self.tok.is_punct(";"):
+            cond = self.parse_expr()
+        self.expect(";")
+        inc = None
+        if not self.tok.is_punct(")"):
+            inc = self.parse_expr()
+        self.expect(")")
+        body = self.parse_stmt()
+        return ast.ForStmt(init, cond, inc, body, SourceRange(start, body.range.end))
+
+    def _parse_local_declaration(self) -> list[ast.Decl]:
+        start = self.tok.begin
+        spec = self._parse_declaration_specifiers()
+        if self.accept(";"):
+            return list(spec.tag_decls)
+        decls: list[ast.Decl] = list(spec.tag_decls)
+        while True:
+            dstart = start if not decls or not spec.tag_decls else self.tok.begin
+            declarator = self._parse_declarator(spec.base_type)
+            decls.append(self._finish_declaration(spec, declarator, dstart))
+            if self.accept(","):
+                start = self.tok.begin  # subsequent declarators start later
+                continue
+            self.expect(";")
+            return decls
+
+    # -- initializers ----------------------------------------------------------
+
+    def parse_initializer(self) -> ast.Expr:
+        if self.tok.is_punct("{"):
+            return self._parse_init_list()
+        return self.parse_assignment_expr()
+
+    def _parse_init_list(self) -> ast.InitListExpr:
+        lbrace = self.expect("{")
+        inits: list[ast.Expr] = []
+        while not self.tok.is_punct("}"):
+            inits.append(self.parse_initializer())
+            if not self.accept(","):
+                break
+        rbrace = self.expect("}")
+        return ast.InitListExpr(inits, SourceRange(lbrace.begin, rbrace.end))
+
+    # -- expressions ------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        """Parse a full expression including the comma operator."""
+        expr = self.parse_assignment_expr()
+        while self.tok.is_punct(","):
+            op_tok = self.advance()
+            rhs = self.parse_assignment_expr()
+            expr = ast.BinaryOperator(
+                ",", expr, rhs,
+                SourceRange(expr.range.begin, rhs.range.end),
+                op_range=op_tok.range,
+            )
+        return expr
+
+    def parse_assignment_expr(self) -> ast.Expr:
+        lhs = self.parse_conditional_expr()
+        if self.tok.kind is TokenKind.PUNCT and self.tok.text in ast.ASSIGN_OPS:
+            op_tok = self.advance()
+            rhs = self.parse_assignment_expr()
+            return ast.BinaryOperator(
+                op_tok.text, lhs, rhs,
+                SourceRange(lhs.range.begin, rhs.range.end),
+                op_range=op_tok.range,
+            )
+        return lhs
+
+    def parse_conditional_expr(self) -> ast.Expr:
+        cond = self._parse_binop_rhs(self.parse_cast_expr(), 0)
+        if self.accept("?"):
+            true_expr = self.parse_expr()
+            self.expect(":")
+            false_expr = self.parse_conditional_expr()
+            return ast.ConditionalOperator(
+                cond, true_expr, false_expr,
+                SourceRange(cond.range.begin, false_expr.range.end),
+            )
+        return cond
+
+    def _parse_binop_rhs(self, lhs: ast.Expr, min_prec: int) -> ast.Expr:
+        while True:
+            tok = self.tok
+            prec = (
+                _BINOP_PRECEDENCE.get(tok.text, -1)
+                if tok.kind is TokenKind.PUNCT
+                else -1
+            )
+            if prec < min_prec or prec < 0:
+                return lhs
+            op_tok = self.advance()
+            rhs = self.parse_cast_expr()
+            while True:
+                next_prec = (
+                    _BINOP_PRECEDENCE.get(self.tok.text, -1)
+                    if self.tok.kind is TokenKind.PUNCT
+                    else -1
+                )
+                if next_prec <= prec:
+                    break
+                rhs = self._parse_binop_rhs(rhs, prec + 1)
+            lhs = ast.BinaryOperator(
+                op_tok.text, lhs, rhs,
+                SourceRange(lhs.range.begin, rhs.range.end),
+                op_range=op_tok.range,
+            )
+
+    def parse_cast_expr(self) -> ast.Expr:
+        if self.tok.is_punct("(") and self._starts_type(self.peek()):
+            start = self.tok.begin
+            self.advance()
+            tstart = self.tok.begin
+            qtype = self._parse_type_name()
+            type_text = self.source.slice(
+                SourceRange(tstart, self.tokens[self.pos - 1].end)
+            )
+            self.expect(")")
+            if self.tok.is_punct("{"):
+                init = self._parse_init_list()
+                return ast.CompoundLiteralExpr(
+                    qtype, type_text, init, SourceRange(start, init.range.end)
+                )
+            operand = self.parse_cast_expr()
+            return ast.CastExpr(
+                qtype, type_text, operand, SourceRange(start, operand.range.end)
+            )
+        return self.parse_unary_expr()
+
+    def _parse_type_name(self) -> ct.QualType:
+        spec = self._parse_declaration_specifiers()
+        ty = spec.base_type
+        while self.accept("*"):
+            while self.accept("const") or self.accept("volatile"):
+                pass
+            ty = ct.pointer_to(ty)
+        dims: list[int | None] = []
+        while self.accept("["):
+            if self.tok.is_punct("]"):
+                dims.append(None)
+            else:
+                dims.append(self._const_int(self.parse_conditional_expr()))
+            self.expect("]")
+        for size in reversed(dims):
+            ty = ct.array_of(ty, size)
+        return ty
+
+    def parse_unary_expr(self) -> ast.Expr:
+        tok = self.tok
+        start = tok.begin
+        if tok.kind is TokenKind.PUNCT and tok.text in (
+            "+", "-", "!", "~", "*", "&", "++", "--",
+        ):
+            self.advance()
+            operand = self.parse_cast_expr()
+            return ast.UnaryOperator(
+                tok.text, operand, True, SourceRange(start, operand.range.end)
+            )
+        if tok.is_keyword("__imag") or tok.is_keyword("__real"):
+            self.advance()
+            operand = self.parse_cast_expr()
+            return ast.UnaryOperator(
+                tok.text, operand, True, SourceRange(start, operand.range.end)
+            )
+        if tok.is_keyword("sizeof"):
+            self.advance()
+            if self.tok.is_punct("(") and self._starts_type(self.peek()):
+                self.advance()
+                qtype = self._parse_type_name()
+                rparen = self.expect(")")
+                return ast.SizeofExpr(
+                    None, qtype, SourceRange(start, rparen.end)
+                )
+            operand = self.parse_unary_expr()
+            return ast.SizeofExpr(
+                operand, None, SourceRange(start, operand.range.end)
+            )
+        return self.parse_postfix_expr()
+
+    def parse_postfix_expr(self) -> ast.Expr:
+        expr = self.parse_primary_expr()
+        while True:
+            tok = self.tok
+            if tok.is_punct("("):
+                lparen = self.advance()
+                args: list[ast.Expr] = []
+                if not self.tok.is_punct(")"):
+                    args.append(self.parse_assignment_expr())
+                    while self.accept(","):
+                        args.append(self.parse_assignment_expr())
+                rparen = self.expect(")")
+                expr = ast.CallExpr(
+                    expr, args,
+                    SourceRange(expr.range.begin, rparen.end),
+                    lparen_loc=lparen.begin,
+                    rparen_loc=rparen.begin,
+                )
+            elif tok.is_punct("["):
+                self.advance()
+                index = self.parse_expr()
+                rbracket = self.expect("]")
+                expr = ast.ArraySubscriptExpr(
+                    expr, index, SourceRange(expr.range.begin, rbracket.end)
+                )
+            elif tok.is_punct(".") or tok.is_punct("->"):
+                is_arrow = tok.text == "->"
+                self.advance()
+                if self.tok.kind is not TokenKind.IDENT:
+                    raise self._error("expected member name")
+                member = self.advance()
+                expr = ast.MemberExpr(
+                    expr, member.text, is_arrow,
+                    SourceRange(expr.range.begin, member.end),
+                )
+            elif tok.is_punct("++") or tok.is_punct("--"):
+                self.advance()
+                expr = ast.UnaryOperator(
+                    tok.text, expr, False, SourceRange(expr.range.begin, tok.end)
+                )
+            else:
+                return expr
+
+    def parse_primary_expr(self) -> ast.Expr:
+        tok = self.tok
+        if tok.kind is TokenKind.INT_LITERAL:
+            self.advance()
+            return ast.IntegerLiteral(
+                self._int_value(tok.text), tok.text, tok.range
+            )
+        if tok.kind is TokenKind.FLOAT_LITERAL:
+            self.advance()
+            return ast.FloatingLiteral(
+                self._float_value(tok.text), tok.text, tok.range
+            )
+        if tok.kind is TokenKind.CHAR_LITERAL:
+            self.advance()
+            return ast.CharacterLiteral(self._char_value(tok.text), tok.text, tok.range)
+        if tok.kind is TokenKind.STRING_LITERAL:
+            self.advance()
+            parts = [tok]
+            while self.tok.kind is TokenKind.STRING_LITERAL:
+                parts.append(self.advance())
+            text = "".join(p.text for p in parts)
+            value = "".join(self._string_value(p.text) for p in parts)
+            return ast.StringLiteral(
+                value, text, SourceRange(tok.begin, parts[-1].end)
+            )
+        if tok.kind is TokenKind.IDENT:
+            self.advance()
+            return ast.DeclRefExpr(tok.text, tok.range)
+        if tok.is_punct("("):
+            lparen = self.advance()
+            inner = self.parse_expr()
+            rparen = self.expect(")")
+            return ast.ParenExpr(inner, SourceRange(lparen.begin, rparen.end))
+        raise self._error(f"unexpected token {tok.text!r} in expression")
+
+    # -- literal decoding ----------------------------------------------------
+
+    @staticmethod
+    def _int_value(text: str) -> int:
+        body = text.rstrip("uUlL")
+        try:
+            return int(body, 0) if body else 0
+        except ValueError:
+            return 0
+
+    @staticmethod
+    def _float_value(text: str) -> float:
+        body = text.rstrip("fFlL")
+        try:
+            return float(body)
+        except ValueError:
+            return 0.0
+
+    _ESCAPES = {
+        "n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34,
+        "a": 7, "b": 8, "f": 12, "v": 11,
+    }
+
+    @classmethod
+    def _char_value(cls, text: str) -> int:
+        body = text[1:-1]
+        if body.startswith("\\") and len(body) >= 2:
+            if body[1] == "x":
+                try:
+                    return int(body[2:], 16) & 0xFF
+                except ValueError:
+                    return 0
+            if body[1].isdigit():
+                try:
+                    return int(body[1:], 8) & 0xFF
+                except ValueError:
+                    return 0
+            return cls._ESCAPES.get(body[1], ord(body[1]))
+        return ord(body[0]) if body else 0
+
+    @classmethod
+    def _string_value(cls, text: str) -> str:
+        body = text[1:-1]
+        out: list[str] = []
+        i = 0
+        while i < len(body):
+            ch = body[i]
+            if ch == "\\" and i + 1 < len(body):
+                nxt = body[i + 1]
+                out.append(chr(cls._ESCAPES.get(nxt, ord(nxt))))
+                i += 2
+            else:
+                out.append(ch)
+                i += 1
+        return "".join(out)
+
+
+def parse(text: str, name: str = "<input>") -> ast.TranslationUnit:
+    """Parse C source text into a translation unit."""
+    return Parser(SourceFile(text, name)).parse()

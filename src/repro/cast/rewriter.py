@@ -1,0 +1,89 @@
+"""Textual rewriting keyed on source ranges (the Clang ``Rewriter`` analog).
+
+Mutators never rebuild the AST; they splice replacement text into the original
+source at the ranges the parser recorded.  Edits are collected and applied in
+one pass; overlapping edits are rejected (the operation returns ``False``),
+matching how the paper's mutators detect conflicting rewrites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cast.source import SourceFile, SourceLocation, SourceRange
+
+
+@dataclass(frozen=True)
+class _Edit:
+    begin: int
+    end: int
+    text: str
+    #: Monotonic sequence number; orders same-point insertions.
+    seq: int
+
+
+class Rewriter:
+    """Accumulates text edits over a source file and materializes the result."""
+
+    def __init__(self, source: SourceFile) -> None:
+        self.source = source
+        self._edits: list[_Edit] = []
+        self._seq = 0
+
+    # -- edit operations ---------------------------------------------------
+
+    def replace_text(self, rng: SourceRange, text: str) -> bool:
+        """Replace the text in ``rng``; False if it overlaps a prior edit."""
+        return self._add(rng.begin.offset, rng.end.offset, text)
+
+    def remove_text(self, rng: SourceRange) -> bool:
+        return self.replace_text(rng, "")
+
+    def insert_text_before(self, loc: SourceLocation, text: str) -> bool:
+        return self._add(loc.offset, loc.offset, text)
+
+    def insert_text_after(self, loc: SourceLocation, text: str) -> bool:
+        return self._add(loc.offset, loc.offset, text)
+
+    def _add(self, begin: int, end: int, text: str) -> bool:
+        if begin > end or begin < 0 or end > len(self.source.text):
+            return False
+        is_insertion = begin == end
+        for edit in self._edits:
+            if is_insertion:
+                # Insertions are fine anywhere except strictly inside a
+                # replaced region (that text is going away).
+                if edit.begin < begin < edit.end:
+                    return False
+            elif edit.begin == edit.end:
+                # Prior insertion strictly inside this replacement conflicts.
+                if begin < edit.begin < end:
+                    return False
+            else:
+                # Two replacements must not overlap.
+                if begin < edit.end and edit.begin < end:
+                    return False
+        self._edits.append(_Edit(begin, end, text, self._seq))
+        self._seq += 1
+        return True
+
+    # -- materialization ------------------------------------------------------
+
+    @property
+    def has_edits(self) -> bool:
+        return bool(self._edits)
+
+    def edit_count(self) -> int:
+        return len(self._edits)
+
+    def rewritten_text(self) -> str:
+        """Apply all edits to the original text and return the result."""
+        parts: list[str] = []
+        pos = 0
+        text = self.source.text
+        for edit in sorted(self._edits, key=lambda e: (e.begin, e.end, e.seq)):
+            parts.append(text[pos : edit.begin])
+            parts.append(edit.text)
+            pos = max(pos, edit.end)
+        parts.append(text[pos:])
+        return "".join(parts)

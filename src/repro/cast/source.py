@@ -1,0 +1,79 @@
+"""Source files, locations, and ranges.
+
+Locations are plain character offsets into the original text, which makes the
+rewriter (see :mod:`repro.cast.rewriter`) a simple piecewise-text substitution.
+Line/column information is derived lazily for diagnostics.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class SourceLocation:
+    """A position in a source file, as a 0-based character offset."""
+
+    offset: int
+
+    def advanced(self, n: int) -> "SourceLocation":
+        return SourceLocation(self.offset + n)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"loc({self.offset})"
+
+
+@dataclass(frozen=True)
+class SourceRange:
+    """A half-open [begin, end) character range in a source file."""
+
+    begin: SourceLocation
+    end: SourceLocation
+
+    @staticmethod
+    def of(begin: int, end: int) -> "SourceRange":
+        return SourceRange(SourceLocation(begin), SourceLocation(end))
+
+    @property
+    def length(self) -> int:
+        return self.end.offset - self.begin.offset
+
+    def contains(self, other: "SourceRange") -> bool:
+        return (
+            self.begin.offset <= other.begin.offset
+            and other.end.offset <= self.end.offset
+        )
+
+    def overlaps(self, other: "SourceRange") -> bool:
+        return self.begin.offset < other.end.offset and other.begin.offset < self.end.offset
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"range({self.begin.offset},{self.end.offset})"
+
+
+@dataclass
+class SourceFile:
+    """A named piece of C source text with line-offset bookkeeping."""
+
+    text: str
+    name: str = "<input>"
+    _line_starts: list[int] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        self._line_starts = [0]
+        for i, ch in enumerate(self.text):
+            if ch == "\n":
+                self._line_starts.append(i + 1)
+
+    def slice(self, rng: SourceRange) -> str:
+        return self.text[rng.begin.offset : rng.end.offset]
+
+    def line_column(self, loc: SourceLocation) -> tuple[int, int]:
+        """Return 1-based (line, column) for a location."""
+        line = bisect.bisect_right(self._line_starts, loc.offset) - 1
+        return line + 1, loc.offset - self._line_starts[line] + 1
+
+    def describe(self, loc: SourceLocation) -> str:
+        line, col = self.line_column(loc)
+        return f"{self.name}:{line}:{col}"

@@ -1,0 +1,75 @@
+"""Scoped symbol tables for semantic analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.cast import ast_nodes as ast
+from repro.cast.types import QualType
+
+
+@dataclass
+class Symbol:
+    name: str
+    type: QualType
+    decl: ast.Decl
+    kind: str  # "var" | "param" | "func" | "enum_const" | "typedef"
+
+
+@dataclass
+class Scope:
+    """A lexical scope; ordinary identifiers only (tags are tracked by Sema)."""
+
+    parent: Optional["Scope"] = None
+    symbols: dict[str, Symbol] = field(default_factory=dict)
+    #: What introduced this scope: "file", "function", "block", "loop", "switch".
+    kind: str = "block"
+
+    def define(self, sym: Symbol) -> bool:
+        """Define a symbol; return False if it collides in this scope."""
+        if sym.name in self.symbols:
+            existing = self.symbols[sym.name]
+            # Function redeclaration (prototype then definition) is allowed.
+            if existing.kind == "func" and sym.kind == "func":
+                self.symbols[sym.name] = sym
+                return True
+            # Tentative definitions of file-scope variables are allowed.
+            if (
+                self.kind == "file"
+                and existing.kind == "var"
+                and sym.kind == "var"
+                and existing.type == sym.type
+            ):
+                self.symbols[sym.name] = sym
+                return True
+            return False
+        self.symbols[sym.name] = sym
+        return True
+
+    def lookup(self, name: str) -> Symbol | None:
+        scope: Scope | None = self
+        while scope is not None:
+            sym = scope.symbols.get(name)
+            if sym is not None:
+                return sym
+            scope = scope.parent
+        return None
+
+    def lookup_local(self, name: str) -> Symbol | None:
+        return self.symbols.get(name)
+
+    def ancestors(self) -> Iterator["Scope"]:
+        scope: Scope | None = self
+        while scope is not None:
+            yield scope
+            scope = scope.parent
+
+    def in_loop(self) -> bool:
+        return any(s.kind == "loop" for s in self.ancestors())
+
+    def in_loop_or_switch(self) -> bool:
+        return any(s.kind in ("loop", "switch") for s in self.ancestors())
+
+    def in_switch(self) -> bool:
+        return any(s.kind == "switch" for s in self.ancestors())

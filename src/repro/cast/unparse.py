@@ -1,0 +1,273 @@
+"""AST pretty-printer.
+
+``unparse`` renders an AST back to compilable C text.  It is used by the
+property-based tests (``parse ∘ unparse`` reaches a fixpoint) and by tools
+that want a normalized view of a mutant.
+"""
+
+from __future__ import annotations
+
+from repro.cast import ast_nodes as ast
+from repro.cast import types as ct
+
+
+class _Printer:
+    def __init__(self, indent: str = "  ") -> None:
+        self.indent = indent
+        self.lines: list[str] = []
+        self.depth = 0
+
+    def emit(self, text: str) -> None:
+        self.lines.append(self.indent * self.depth + text)
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+    # -- declarations -------------------------------------------------------
+
+    def print_unit(self, unit: ast.TranslationUnit) -> None:
+        for decl in unit.decls:
+            self.print_decl(decl)
+
+    def print_decl(self, decl: ast.Decl) -> None:
+        if isinstance(decl, ast.FunctionDecl):
+            self._print_function(decl)
+        elif isinstance(decl, ast.VarDecl):
+            self.emit(self._var_decl_text(decl) + ";")
+        elif isinstance(decl, ast.RecordDecl):
+            self._print_record(decl)
+        elif isinstance(decl, ast.EnumDecl):
+            self._print_enum(decl)
+        elif isinstance(decl, ast.TypedefDecl):
+            self.emit(f"typedef {declare(decl.underlying, decl.name)};")
+        else:  # pragma: no cover - exhaustive over top-level kinds
+            raise ValueError(f"cannot print declaration {decl.kind}")
+
+    def _var_decl_text(self, decl: ast.VarDecl) -> str:
+        storage = f"{decl.storage} " if decl.storage else ""
+        text = storage + declare(decl.type, decl.name)
+        if decl.init is not None:
+            text += " = " + expr_text(decl.init)
+        return text
+
+    def _print_function(self, decl: ast.FunctionDecl) -> None:
+        params = ", ".join(declare(p.type, p.name) for p in decl.params)
+        if decl.variadic:
+            params = f"{params}, ..." if params else "..."
+        if not params:
+            params = "void"
+        storage = f"{decl.storage} " if decl.storage else ""
+        header = f"{storage}{declare(decl.return_type, decl.name)}({params})"
+        if decl.body is None:
+            self.emit(header + ";")
+            return
+        self.emit(header + " {")
+        self.depth += 1
+        for stmt in decl.body.stmts:
+            self.print_stmt(stmt)
+        self.depth -= 1
+        self.emit("}")
+
+    def _print_record(self, decl: ast.RecordDecl) -> None:
+        self.emit(f"{decl.tag_kind} {decl.name} {{")
+        self.depth += 1
+        for f in decl.fields:
+            self.emit(declare(f.type, f.name) + ";")
+        self.depth -= 1
+        self.emit("};")
+
+    def _print_enum(self, decl: ast.EnumDecl) -> None:
+        parts = []
+        for c in decl.constants:
+            if c.value is not None:
+                parts.append(f"{c.name} = {expr_text(c.value)}")
+            else:
+                parts.append(c.name)
+        self.emit(f"enum {decl.name} {{ {', '.join(parts)} }};")
+
+    # -- statements -----------------------------------------------------------
+
+    def print_stmt(self, stmt: ast.Stmt) -> None:
+        method = getattr(self, f"_stmt_{stmt.kind}")
+        method(stmt)
+
+    def _block_or_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.CompoundStmt):
+            self._stmt_CompoundStmt(stmt)
+        else:
+            self.depth += 1
+            self.print_stmt(stmt)
+            self.depth -= 1
+
+    def _stmt_CompoundStmt(self, stmt: ast.CompoundStmt) -> None:
+        self.emit("{")
+        self.depth += 1
+        for s in stmt.stmts:
+            self.print_stmt(s)
+        self.depth -= 1
+        self.emit("}")
+
+    def _stmt_DeclStmt(self, stmt: ast.DeclStmt) -> None:
+        for decl in stmt.decls:
+            if isinstance(decl, ast.VarDecl):
+                self.emit(self._var_decl_text(decl) + ";")
+            else:
+                self.print_decl(decl)
+
+    def _stmt_ExprStmt(self, stmt: ast.ExprStmt) -> None:
+        self.emit(expr_text(stmt.expr) + ";")
+
+    def _stmt_NullStmt(self, stmt: ast.NullStmt) -> None:
+        self.emit(";")
+
+    def _stmt_IfStmt(self, stmt: ast.IfStmt) -> None:
+        self.emit(f"if ({expr_text(stmt.cond)})")
+        self._block_or_stmt(stmt.then_branch)
+        if stmt.else_branch is not None:
+            self.emit("else")
+            self._block_or_stmt(stmt.else_branch)
+
+    def _stmt_WhileStmt(self, stmt: ast.WhileStmt) -> None:
+        self.emit(f"while ({expr_text(stmt.cond)})")
+        self._block_or_stmt(stmt.body)
+
+    def _stmt_DoStmt(self, stmt: ast.DoStmt) -> None:
+        self.emit("do")
+        self._block_or_stmt(stmt.body)
+        self.emit(f"while ({expr_text(stmt.cond)});")
+
+    def _stmt_ForStmt(self, stmt: ast.ForStmt) -> None:
+        if isinstance(stmt.init, ast.DeclStmt):
+            decls = [d for d in stmt.init.decls if isinstance(d, ast.VarDecl)]
+            init = ", ".join(self._var_decl_text(d) for d in decls)
+        elif isinstance(stmt.init, ast.ExprStmt):
+            init = expr_text(stmt.init.expr)
+        else:
+            init = ""
+        cond = expr_text(stmt.cond) if stmt.cond is not None else ""
+        inc = expr_text(stmt.inc) if stmt.inc is not None else ""
+        self.emit(f"for ({init}; {cond}; {inc})")
+        self._block_or_stmt(stmt.body)
+
+    def _stmt_SwitchStmt(self, stmt: ast.SwitchStmt) -> None:
+        self.emit(f"switch ({expr_text(stmt.cond)})")
+        self._block_or_stmt(stmt.body)
+
+    def _stmt_CaseStmt(self, stmt: ast.CaseStmt) -> None:
+        self.emit(f"case {expr_text(stmt.expr)}:")
+        if stmt.stmt is not None:
+            self.depth += 1
+            self.print_stmt(stmt.stmt)
+            self.depth -= 1
+
+    def _stmt_DefaultStmt(self, stmt: ast.DefaultStmt) -> None:
+        self.emit("default:")
+        if stmt.stmt is not None:
+            self.depth += 1
+            self.print_stmt(stmt.stmt)
+            self.depth -= 1
+
+    def _stmt_BreakStmt(self, stmt: ast.BreakStmt) -> None:
+        self.emit("break;")
+
+    def _stmt_ContinueStmt(self, stmt: ast.ContinueStmt) -> None:
+        self.emit("continue;")
+
+    def _stmt_ReturnStmt(self, stmt: ast.ReturnStmt) -> None:
+        if stmt.expr is not None:
+            self.emit(f"return {expr_text(stmt.expr)};")
+        else:
+            self.emit("return;")
+
+    def _stmt_GotoStmt(self, stmt: ast.GotoStmt) -> None:
+        self.emit(f"goto {stmt.label};")
+
+    def _stmt_LabelStmt(self, stmt: ast.LabelStmt) -> None:
+        self.emit(f"{stmt.name}:")
+        self.print_stmt(stmt.stmt)
+
+
+def declare(qt: ct.QualType, name: str) -> str:
+    """Format a type and identifier as a C declaration (μAST formatAsDecl)."""
+    quals = ("const " if qt.const else "") + ("volatile " if qt.volatile else "")
+    ty = qt.type
+    if isinstance(ty, ct.PointerType):
+        inner = declare(ty.pointee, f"*{quals}{name}".rstrip())
+        return inner
+    if isinstance(ty, ct.ArrayType):
+        n = "" if ty.size is None else str(ty.size)
+        return declare(ty.element, f"{quals}{name}[{n}]".strip())
+    if isinstance(ty, ct.FunctionType):
+        params = ", ".join(declare(p, "") for p in ty.params) or "void"
+        if ty.variadic:
+            params += ", ..."
+        return declare(ty.result, f"{quals}{name}({params})".strip())
+    base = ty.spelling()
+    return f"{quals}{base} {name}".strip()
+
+
+def expr_text(expr: ast.Expr) -> str:
+    """Render an expression with explicit parentheses where needed."""
+    if isinstance(expr, (ast.IntegerLiteral, ast.FloatingLiteral)):
+        return expr.text
+    if isinstance(expr, (ast.CharacterLiteral, ast.StringLiteral)):
+        return expr.text
+    if isinstance(expr, ast.DeclRefExpr):
+        return expr.name
+    if isinstance(expr, ast.ParenExpr):
+        # Forms that print their own parentheses don't need another pair;
+        # collapsing them makes parse ∘ unparse reach a fixpoint.
+        if isinstance(
+            expr.inner,
+            (ast.ParenExpr, ast.BinaryOperator, ast.ConditionalOperator,
+             ast.CastExpr, ast.CompoundLiteralExpr),
+        ):
+            return expr_text(expr.inner)
+        return f"({expr_text(expr.inner)})"
+    if isinstance(expr, ast.UnaryOperator):
+        operand = expr_text(expr.operand)
+        if not isinstance(
+            expr.operand,
+            (ast.IntegerLiteral, ast.FloatingLiteral, ast.DeclRefExpr, ast.ParenExpr,
+             ast.CharacterLiteral, ast.CallExpr, ast.ArraySubscriptExpr,
+             ast.MemberExpr),
+        ):
+            operand = f"({operand})"
+        if expr.prefix:
+            sep = " " if expr.op in ("__imag", "__real") else ""
+            return f"{expr.op}{sep}{operand}"
+        return f"{operand}{expr.op}"
+    if isinstance(expr, ast.BinaryOperator):
+        return f"({expr_text(expr.lhs)} {expr.op} {expr_text(expr.rhs)})"
+    if isinstance(expr, ast.ConditionalOperator):
+        return (
+            f"({expr_text(expr.cond)} ? {expr_text(expr.true_expr)} : "
+            f"{expr_text(expr.false_expr)})"
+        )
+    if isinstance(expr, ast.CallExpr):
+        args = ", ".join(expr_text(a) for a in expr.args)
+        return f"{expr_text(expr.callee)}({args})"
+    if isinstance(expr, ast.ArraySubscriptExpr):
+        return f"{expr_text(expr.base)}[{expr_text(expr.index)}]"
+    if isinstance(expr, ast.MemberExpr):
+        op = "->" if expr.is_arrow else "."
+        return f"{expr_text(expr.base)}{op}{expr.member}"
+    if isinstance(expr, ast.CastExpr):
+        return f"(({expr.type_text})({expr_text(expr.operand)}))"
+    if isinstance(expr, ast.SizeofExpr):
+        if expr.type_operand is not None:
+            return f"sizeof({expr.type_operand.spelling()})"
+        assert expr.operand is not None
+        return f"sizeof({expr_text(expr.operand)})"
+    if isinstance(expr, ast.InitListExpr):
+        return "{" + ", ".join(expr_text(i) for i in expr.inits) + "}"
+    if isinstance(expr, ast.CompoundLiteralExpr):
+        return f"(({expr.type_text}){expr_text(expr.init)})"
+    raise ValueError(f"cannot print expression {expr.kind}")  # pragma: no cover
+
+
+def unparse(unit: ast.TranslationUnit) -> str:
+    """Render a translation unit back to C source text."""
+    printer = _Printer()
+    printer.print_unit(unit)
+    return printer.text()

@@ -1,0 +1,31 @@
+"""The simulated target compilers ("gcc-sim-14" / "clang-sim-18").
+
+The paper fuzzes instrumented builds of GCC and Clang; this package provides
+the substitute: a complete multi-stage compiler pipeline for our C subset —
+front end (:mod:`repro.cast`), IR generation, an optimizer with several
+semantic passes, and a register-allocating back end — instrumented with
+branch-coverage feedback and seeded with latent bugs whose distribution
+mirrors the paper's Tables 4/6 (see :mod:`repro.compiler.bugs`).
+"""
+
+from repro.compiler.driver import (
+    Compiler,
+    CompileResult,
+    GCC_SIM,
+    CLANG_SIM,
+    default_compilers,
+)
+from repro.compiler.coverage import CoverageMap
+from repro.compiler.crash import CompilerCrash, CompilerHang, StackFrame
+
+__all__ = [
+    "Compiler",
+    "CompileResult",
+    "GCC_SIM",
+    "CLANG_SIM",
+    "default_compilers",
+    "CoverageMap",
+    "CompilerCrash",
+    "CompilerHang",
+    "StackFrame",
+]

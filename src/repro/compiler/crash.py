@@ -1,0 +1,79 @@
+"""Compiler crash/hang modelling.
+
+A crash carries synthetic stack frames; unique crashes are identified by the
+top two frames (program counter included), exactly as in §5.1, and helper
+frames like ``llvm::report_error`` are excluded from bucketing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+#: Frames excluded from crash bucketing (the paper excludes helpers like
+#: llvm::report_error).
+HELPER_FRAMES = frozenset(
+    {
+        "llvm::report_error",
+        "llvm::report_fatal_error",
+        "internal_error",
+        "fancy_abort",
+        "abort",
+        "assert_fail",
+    }
+)
+
+
+@dataclass(frozen=True)
+class StackFrame:
+    function: str
+    pc: int
+
+    def __repr__(self) -> str:
+        return f"{self.function}+{self.pc:#x}"
+
+
+@dataclass
+class CrashSignature:
+    """The dedup key: top two non-helper frames."""
+
+    frames: tuple[StackFrame, ...]
+
+    def __hash__(self) -> int:
+        return hash(self.frames)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CrashSignature) and self.frames == other.frames
+
+
+class CompilerCrash(Exception):
+    """An internal compiler error (assertion failure or segfault)."""
+
+    def __init__(
+        self,
+        bug_id: str,
+        module: str,
+        message: str,
+        frames: list[StackFrame],
+        kind: str = "assert",  # "assert" | "segfault"
+    ) -> None:
+        super().__init__(message)
+        self.bug_id = bug_id
+        self.module = module
+        self.message = message
+        self.frames = frames
+        self.kind = kind
+
+    def signature(self) -> CrashSignature:
+        useful = [f for f in self.frames if f.function not in HELPER_FRAMES]
+        return CrashSignature(tuple(useful[:2]))
+
+
+class CompilerHang(Exception):
+    """The compiler failed to terminate (detected via a fuel limit)."""
+
+    def __init__(self, bug_id: str, module: str, message: str) -> None:
+        super().__init__(message)
+        self.bug_id = bug_id
+        self.module = module
+        self.message = message

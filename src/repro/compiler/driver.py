@@ -1,0 +1,242 @@
+"""The compiler facade: personalities, options, and the full pipeline.
+
+``Compiler.compile`` never raises for input-dependent outcomes: the result
+carries diagnostics (the program didn't compile), a crash (an internal
+compiler error — a seeded bug fired), or a hang, plus the coverage edges the
+run produced.  This is exactly the interface a fuzzer needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cast import ast_nodes as ast
+from repro.cast.parser import ParseError, Parser
+from repro.cast.sema import Sema
+from repro.cast.source import SourceFile
+from repro.compiler import features as feat
+from repro.compiler.backend import lower_to_asm
+from repro.compiler.bugs import BugRegistry
+from repro.compiler.coverage import CoverageMap
+from repro.compiler.crash import CompilerCrash, CompilerHang
+from repro.compiler.ir import IRModule
+from repro.compiler.irgen import IRGen, LoweringError
+from repro.compiler.passes import OptContext, run_pipeline
+
+
+@dataclass
+class CompileResult:
+    ok: bool
+    compiler: str
+    diagnostics: list[str] = field(default_factory=list)
+    crash: CompilerCrash | None = None
+    hang: CompilerHang | None = None
+    asm: str = ""
+    module: IRModule | None = None
+    coverage: CoverageMap = field(default_factory=CoverageMap)
+    features: dict = field(default_factory=dict)
+    #: Virtual compile time in seconds (used by the campaign clock).
+    cost: float = 0.09
+
+    @property
+    def crashed(self) -> bool:
+        return self.crash is not None or self.hang is not None
+
+
+#: Command-line flags the macro fuzzer samples (§3.4 enhancement 1).
+SAMPLABLE_FLAGS = (
+    "-fno-tree-vrp",
+    "-funroll-loops",
+    "-ftree-vectorize",
+    "-fno-inline",
+    "-fomit-frame-pointer",
+    "-fwrapv",
+)
+
+
+class Compiler:
+    """One compiler personality (gcc-sim-14 or clang-sim-18)."""
+
+    def __init__(self, personality: str, version: str, bug_seed: int = 20240427) -> None:
+        assert personality in ("gcc-sim", "clang-sim")
+        self.personality = personality
+        self.version = version
+        self.name = f"{personality}-{version}"
+        self.bugs = BugRegistry.for_compiler(personality, seed=bug_seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Compiler {self.name}>"
+
+    # ------------------------------------------------------------------
+
+    def compile(
+        self,
+        source_text: str,
+        opt_level: int = 2,
+        flags: tuple[str, ...] = (),
+    ) -> CompileResult:
+        cov = CoverageMap()
+        result = CompileResult(False, self.name, coverage=cov)
+        features: dict = {
+            "opt_level": opt_level,
+            "flags": tuple(flags),
+            "personality": self.personality,
+        }
+        result.features = features
+        try:
+            self._run_pipeline(source_text, opt_level, flags, cov, features, result)
+        except CompilerCrash as crash:
+            result.ok = False
+            result.crash = crash
+            cov.hit("crash", crash.bug_id)
+        except CompilerHang as hang:
+            result.ok = False
+            result.hang = hang
+            cov.hit("hang", hang.bug_id)
+        result.cost = 0.05 + min(len(source_text), 40_000) / 22_000.0
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _run_pipeline(
+        self,
+        source_text: str,
+        opt_level: int,
+        flags: tuple[str, ...],
+        cov: CoverageMap,
+        features: dict,
+        result: CompileResult,
+    ) -> None:
+        # ---- Front end: lex once, share the token stream. ----------------
+        from repro.cast.lexer import Lexer
+
+        prefix, lex_error = Lexer(SourceFile(source_text)).tokens_best_effort()
+        tokens = None if lex_error is not None else prefix
+        if lex_error is not None:
+            cov.hit("fe:lex_error", lex_error.message.split(" ")[0])
+        features.update(feat.lexical_features(source_text, tokens))
+        # Even broken inputs exercise the lexer up to the failure point.
+        self._cover_tokens(prefix, cov)
+
+        unit = self._parse(source_text, tokens, cov, features, result)
+        # Front-end bug checks run even on malformed input: a fuzzer can
+        # crash the parser without producing a valid program.  Semantic
+        # analysis runs before feature extraction — type-dependent
+        # fingerprints (e.g. swapped subscripts) need annotated nodes.
+        sema = None
+        if unit is not None:
+            sema = Sema()
+            diags = sema.analyze(unit)
+            for d in diags:
+                cov.hit("sema:diag", d.message.split("'")[0][:48])
+                if d.severity == "error":
+                    result.diagnostics.append(d.message)
+            if result.diagnostics:
+                features["sema_failed"] = 1
+            features.update(feat.ast_features(unit, source_text))
+            self._cover_ast(unit, cov)
+        self.bugs.check("front-end", features)
+        if unit is None or result.diagnostics:
+            return
+
+        # ---- IR generation. ---------------------------------------------
+        assert sema is not None
+        irgen = IRGen(sema, cov)
+        try:
+            module = irgen.lower(unit)
+        except (LoweringError, RecursionError) as exc:
+            result.diagnostics.append(f"sorry, unimplemented: {exc}")
+            features["lowering_failed"] = 1
+            self.bugs.check("ir-gen", features)
+            return
+        features.update(irgen.stats.counters)
+        self.bugs.check("ir-gen", features)
+
+        # ---- Optimizer. ---------------------------------------------------
+        def checkpoint(point: str, extra: dict) -> None:
+            merged = dict(features)
+            merged.update(extra)
+            self.bugs.check(point, merged)
+
+        effective_flags = self._personality_flags(flags)
+        ctx = OptContext(
+            cov=cov,
+            opt_level=opt_level,
+            flags=effective_flags,
+            checkpoint=checkpoint,
+        )
+        run_pipeline(module, ctx)
+        features.update(ctx.stats.counters)
+        self.bugs.check("optimization", features)
+
+        # ---- Back end. -------------------------------------------------------
+        be = lower_to_asm(module, ctx)
+        features.update(be.stats)
+        self.bugs.check("back-end", features)
+
+        result.ok = True
+        result.asm = be.asm
+        result.module = module
+
+    def _personality_flags(self, flags: tuple[str, ...]) -> tuple[str, ...]:
+        extra: tuple[str, ...] = ()
+        if self.personality == "clang-sim":
+            # clang-sim's pipeline always vectorizes at -O2 like LLVM.
+            extra = ("-ftree-vectorize",)
+        return tuple(flags) + extra
+
+    def _parse(
+        self,
+        source_text: str,
+        tokens,
+        cov: CoverageMap,
+        features: dict,
+        result: CompileResult,
+    ) -> ast.TranslationUnit | None:
+        try:
+            parser = Parser(SourceFile(source_text), tokens=tokens)
+            unit = parser.parse()
+        except (ParseError, RecursionError) as exc:
+            message = str(exc)[:64]
+            cov.hit("fe:diag", message.split(" ")[0])
+            cov.hit("fe:diag_detail", message[:28])
+            result.diagnostics.append(f"error: {message}")
+            features["parse_failed"] = 1
+            if isinstance(exc, RecursionError):
+                features["parse_depth_overflow"] = 1
+            return None
+        cov.hit("fe:decls", min(len(unit.decls), 32))
+        return unit
+
+    def _cover_tokens(self, tokens, cov: CoverageMap) -> None:
+        from repro.cast.lexer import TokenKind
+
+        prev = None
+        for tok in tokens[:6000]:
+            key = tok.text if tok.kind in (TokenKind.KEYWORD, TokenKind.PUNCT) else tok.kind.name
+            cov.hit("fe:token", key)
+            if prev is not None:
+                cov.hit("fe:token2", (prev, key))
+            prev = key
+
+    def _cover_ast(self, unit: ast.TranslationUnit, cov: CoverageMap) -> None:
+        for node in unit.walk():
+            cov.hit("fe:node", node.kind)
+            for child in node.children():
+                cov.hit("fe:edge", (node.kind, child.kind))
+            if isinstance(node, ast.BinaryOperator):
+                cov.hit("fe:binop", node.op)
+            elif isinstance(node, ast.UnaryOperator):
+                cov.hit("fe:unop", (node.op, node.prefix))
+            elif isinstance(node, (ast.VarDecl, ast.ParmVarDecl, ast.FieldDecl)):
+                cov.hit("fe:type", node.type.spelling())
+
+
+#: The two evaluation targets of §5.1 (GCC-14 and Clang-18 stand-ins).
+GCC_SIM = ("gcc-sim", "14")
+CLANG_SIM = ("clang-sim", "18")
+
+
+def default_compilers() -> list[Compiler]:
+    """The GCC-14 / Clang-18 pair used throughout the evaluation."""
+    return [Compiler(*GCC_SIM), Compiler(*CLANG_SIM)]

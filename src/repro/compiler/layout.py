@@ -1,0 +1,116 @@
+"""Target data layout (LP64) shared by IR generation and the interpreter."""
+
+from __future__ import annotations
+
+from repro.cast import types as ct
+from repro.compiler.ir import IRType
+
+
+class LayoutError(Exception):
+    """A type that cannot be laid out (shouldn't happen after sema)."""
+
+
+_BUILTIN_IR = {
+    ct.BuiltinKind.BOOL: IRType.I8,
+    ct.BuiltinKind.CHAR: IRType.I8,
+    ct.BuiltinKind.SCHAR: IRType.I8,
+    ct.BuiltinKind.UCHAR: IRType.I8,
+    ct.BuiltinKind.SHORT: IRType.I16,
+    ct.BuiltinKind.USHORT: IRType.I16,
+    ct.BuiltinKind.INT: IRType.I32,
+    ct.BuiltinKind.UINT: IRType.I32,
+    ct.BuiltinKind.LONG: IRType.I64,
+    ct.BuiltinKind.ULONG: IRType.I64,
+    ct.BuiltinKind.LONGLONG: IRType.I64,
+    ct.BuiltinKind.ULONGLONG: IRType.I64,
+    ct.BuiltinKind.FLOAT: IRType.F32,
+    ct.BuiltinKind.DOUBLE: IRType.F64,
+    ct.BuiltinKind.LONGDOUBLE: IRType.F64,
+}
+
+
+def ir_type_of(qt: ct.QualType) -> IRType:
+    """The IR value type of a C scalar type."""
+    ty = qt.type
+    if isinstance(ty, ct.BuiltinType):
+        if ty.kind in _BUILTIN_IR:
+            return _BUILTIN_IR[ty.kind]
+        if ty.kind is ct.BuiltinKind.VOID:
+            return IRType.VOID
+        raise LayoutError(f"no scalar IR type for {qt.spelling()}")
+    if isinstance(ty, (ct.PointerType, ct.ArrayType, ct.FunctionType)):
+        return IRType.PTR
+    if isinstance(ty, ct.EnumType):
+        return IRType.I32
+    raise LayoutError(f"no scalar IR type for {qt.spelling()}")
+
+
+def is_signed(qt: ct.QualType) -> bool:
+    return qt.is_signed() or isinstance(qt.type, ct.EnumType)
+
+
+def align_of(qt: ct.QualType) -> int:
+    ty = qt.type
+    if isinstance(ty, ct.BuiltinType):
+        if ty.kind in (ct.BuiltinKind.COMPLEX_DOUBLE, ct.BuiltinKind.COMPLEX_FLOAT):
+            return 8
+        return max(1, size_of(qt))
+    if isinstance(ty, (ct.PointerType, ct.FunctionType)):
+        return 8
+    if isinstance(ty, ct.ArrayType):
+        return align_of(ty.element)
+    if isinstance(ty, ct.RecordType):
+        return max((align_of(f) for _n, f in ty.fields or ()), default=1)
+    if isinstance(ty, ct.EnumType):
+        return 4
+    raise LayoutError(f"no alignment for {qt.spelling()}")
+
+
+def size_of(qt: ct.QualType) -> int:
+    """sizeof on the simulated LP64 target."""
+    ty = qt.type
+    if isinstance(ty, ct.BuiltinType):
+        if ty.kind is ct.BuiltinKind.VOID:
+            return 1  # GNU extension: sizeof(void) == 1
+        if ty.kind is ct.BuiltinKind.COMPLEX_DOUBLE:
+            return 16
+        if ty.kind is ct.BuiltinKind.COMPLEX_FLOAT:
+            return 8
+        if ty.kind in _BUILTIN_IR:
+            return _BUILTIN_IR[ty.kind].size
+        raise LayoutError(f"no size for {qt.spelling()}")
+    if isinstance(ty, (ct.PointerType, ct.FunctionType)):
+        return 8
+    if isinstance(ty, ct.ArrayType):
+        return (ty.size or 0) * size_of(ty.element)
+    if isinstance(ty, ct.RecordType):
+        return record_layout(ty)[1]
+    if isinstance(ty, ct.EnumType):
+        return 4
+    raise LayoutError(f"no size for {qt.spelling()}")
+
+
+def record_layout(rec: ct.RecordType) -> tuple[dict[str, int], int]:
+    """Field offsets and the padded total size of a struct/union."""
+    if rec.fields is None:
+        raise LayoutError(f"incomplete record {rec.spelling()}")
+    offsets: dict[str, int] = {}
+    if rec.tag_kind == "union":
+        size = 0
+        for name, fqt in rec.fields:
+            offsets[name] = 0
+            size = max(size, size_of(fqt))
+        align = max((align_of(f) for _n, f in rec.fields), default=1)
+        return offsets, _round_up(max(size, 1), align)
+    offset = 0
+    for name, fqt in rec.fields:
+        a = align_of(fqt)
+        offset = _round_up(offset, a)
+        offsets[name] = offset
+        offset += size_of(fqt)
+    align = max((align_of(f) for _n, f in rec.fields), default=1)
+    return offsets, _round_up(max(offset, 1), align)
+
+
+def _round_up(value: int, align: int) -> int:
+    return (value + align - 1) // align * align

@@ -1,0 +1,60 @@
+"""The optimizer: a pipeline of semantic IR passes.
+
+The pass set mirrors the compiler components the paper's mutants exercised —
+constant folding, CFG simplification, DCE, local CSE, store-to-load
+forwarding, a small inliner, GCC's sprintf→strlen strength reduction, and a
+loop vectorizer.  Passes record coverage edges and accumulate statistics used
+by the seeded-bug triggers.
+"""
+
+from repro.compiler.passes.common import OptContext, OptStats
+from repro.compiler.passes.const_fold import const_fold
+from repro.compiler.passes.simplify_cfg import simplify_cfg
+from repro.compiler.passes.dce import dce
+from repro.compiler.passes.cse import cse
+from repro.compiler.passes.forward_store import forward_store
+from repro.compiler.passes.inline import inline_small_functions
+from repro.compiler.passes.strlen_opt import strlen_opt
+from repro.compiler.passes.loop_vectorize import loop_vectorize
+
+__all__ = [
+    "OptContext",
+    "OptStats",
+    "const_fold",
+    "simplify_cfg",
+    "dce",
+    "cse",
+    "forward_store",
+    "inline_small_functions",
+    "strlen_opt",
+    "loop_vectorize",
+    "run_pipeline",
+]
+
+
+def run_pipeline(module, ctx: OptContext) -> None:
+    """Run the optimization pipeline at the context's -O level."""
+    if ctx.opt_level <= 0:
+        return
+    for fn in list(module.functions.values()):
+        changed = True
+        rounds = 0
+        while changed and rounds < 4:
+            rounds += 1
+            changed = False
+            changed |= const_fold(fn, ctx)
+            changed |= simplify_cfg(fn, ctx)
+            changed |= forward_store(fn, ctx)
+            changed |= cse(fn, ctx)
+            changed |= dce(fn, ctx)
+        ctx.stats.bump("opt_rounds", rounds)
+    if ctx.opt_level >= 2:
+        inline_small_functions(module, ctx)
+        strlen_opt(module, ctx)
+        for fn in list(module.functions.values()):
+            const_fold(fn, ctx)
+            simplify_cfg(fn, ctx)
+            dce(fn, ctx)
+    if ctx.opt_level >= 3 or ctx.flag("-ftree-vectorize"):
+        for fn in list(module.functions.values()):
+            loop_vectorize(fn, ctx)

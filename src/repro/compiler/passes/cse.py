@@ -1,0 +1,57 @@
+"""Local common-subexpression elimination (block-scoped value numbering)."""
+
+from __future__ import annotations
+
+from repro.compiler.ir import (
+    BinOp, Cast, Gep, GlobalAddr, IRFunction, LocalAddr, UnOp,
+)
+from repro.compiler.passes.common import OptContext, replace_uses
+
+
+def _key(instr):
+    if isinstance(instr, BinOp):
+        ops = (instr.lhs, instr.rhs)
+        if instr.op in ("+", "*", "&", "|", "^", "eq", "ne"):
+            ops = tuple(sorted(ops, key=repr))
+        return ("bin", instr.op, instr.ty, ops)
+    if isinstance(instr, UnOp):
+        return ("un", instr.op, instr.ty, instr.src)
+    if isinstance(instr, Cast):
+        return ("cast", instr.from_ty, instr.to_ty, instr.signed, instr.src)
+    if isinstance(instr, Gep):
+        return ("gep", instr.base, instr.index, instr.scale, instr.offset)
+    if isinstance(instr, LocalAddr):
+        return ("local", instr.slot)
+    if isinstance(instr, GlobalAddr):
+        return ("global", instr.name)
+    return None
+
+
+def cse(fn: IRFunction, ctx: OptContext) -> bool:
+    changed = False
+    mapping = {}
+    for block in fn.blocks:
+        available: dict = {}
+        kept = []
+        for instr in block.instrs:
+            instr.replace_operands(mapping)
+            key = _key(instr)
+            if key is None:
+                kept.append(instr)
+                continue
+            existing = available.get(key)
+            if existing is not None:
+                dst = instr.dest()
+                assert dst is not None
+                mapping[dst] = existing
+                ctx.cov.hit("opt:cse", key[0])
+                ctx.stats.bump("cse_removed")
+                changed = True
+                continue
+            dst = instr.dest()
+            if dst is not None:
+                available[key] = dst
+            kept.append(instr)
+        block.instrs = kept
+    replace_uses(fn, mapping)
+    return changed

@@ -1,0 +1,32 @@
+"""Dead code elimination over pure instructions."""
+
+from __future__ import annotations
+
+from repro.compiler.ir import IRFunction, TERMINATORS
+from repro.compiler.passes.common import OptContext, use_counts
+
+
+def dce(fn: IRFunction, ctx: OptContext) -> bool:
+    changed = False
+    while True:
+        uses = use_counts(fn)
+        removed = 0
+        for block in fn.blocks:
+            kept = []
+            for instr in block.instrs:
+                dst = instr.dest()
+                if (
+                    dst is not None
+                    and not instr.has_side_effects
+                    and not isinstance(instr, TERMINATORS)
+                    and uses.get(dst.index, 0) == 0
+                ):
+                    removed += 1
+                    continue
+                kept.append(instr)
+            block.instrs = kept
+        if removed == 0:
+            return changed
+        ctx.cov.hit("opt:dce", removed > 8)
+        ctx.stats.bump("dce_removed", removed)
+        changed = True

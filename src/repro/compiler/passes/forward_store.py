@@ -1,0 +1,63 @@
+"""Store-to-load forwarding for stack slots (a light mem2reg).
+
+Within a block, a load from a slot that was just stored to — with no
+intervening call, memcpy, or store through an unknown pointer — is replaced
+by the stored value.  Volatile accesses are never forwarded.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import (
+    Call, IRFunction, Load, LocalAddr, Memcpy, Store, Temp,
+)
+from repro.compiler.passes.common import OptContext, replace_uses
+
+
+def forward_store(fn: IRFunction, ctx: OptContext) -> bool:
+    changed = False
+    mapping = {}
+    for block in fn.blocks:
+        # slot name -> last stored operand
+        known: dict[str, object] = {}
+        slot_of_temp: dict[int, str] = {}
+        kept = []
+        for instr in block.instrs:
+            instr.replace_operands(mapping)
+            if isinstance(instr, LocalAddr):
+                slot_of_temp[instr.dst.index] = instr.slot
+                kept.append(instr)
+                continue
+            if isinstance(instr, Store):
+                slot = (
+                    slot_of_temp.get(instr.ptr.index)
+                    if isinstance(instr.ptr, Temp)
+                    else None
+                )
+                if slot is None or instr.volatile:
+                    known.clear()  # store through an unknown pointer
+                else:
+                    known[slot] = (instr.value, instr.ty)
+                kept.append(instr)
+                continue
+            if isinstance(instr, Load) and not instr.volatile:
+                slot = (
+                    slot_of_temp.get(instr.ptr.index)
+                    if isinstance(instr.ptr, Temp)
+                    else None
+                )
+                if slot is not None and slot in known:
+                    value, ty = known[slot]
+                    if ty == instr.ty:
+                        mapping[instr.dst] = value
+                        ctx.cov.hit("opt:fwdstore", instr.ty)
+                        ctx.stats.bump("stores_forwarded")
+                        changed = True
+                        continue
+                kept.append(instr)
+                continue
+            if isinstance(instr, (Call, Memcpy)):
+                known.clear()
+            kept.append(instr)
+        block.instrs = kept
+    replace_uses(fn, mapping)
+    return changed

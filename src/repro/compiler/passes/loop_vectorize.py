@@ -1,0 +1,165 @@
+"""The loop vectorizer (analysis stage).
+
+Finds natural loops, identifies induction variables, and computes trip
+counts — the analysis GCC's vectorizer performs before deciding to
+vectorize.  The paper's GCC #111820 hang lives here: a loop whose counter
+starts at a compile-time 0 and decreases indefinitely makes the trip-count
+computation freeze.  The pass reports its findings through the checkpoint
+hook; the seeded-bug registry decides whether to fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.ir import (
+    BinOp, Br, GlobalAddr, ImmInt, IRFunction, Load, LocalAddr, Store, Temp,
+)
+from repro.compiler.passes.common import OptContext
+
+
+@dataclass
+class LoopInfo:
+    head: str
+    body: list[str]
+    induction_slot: str | None = None
+    step: int | None = None
+    init: int | None = None
+    global_stores: int = 0
+    exit_compare: str | None = None
+
+
+def _find_loops(fn: IRFunction) -> list[LoopInfo]:
+    order = {b.label: i for i, b in enumerate(fn.blocks)}
+    preds = fn.predecessors()
+    loops = []
+    for head in fn.blocks:
+        latches = [
+            p
+            for p in preds.get(head.label, [])
+            if order.get(p, -1) >= order[head.label]
+        ]
+        if not latches:
+            continue
+        last = max(order[p] for p in latches)
+        body = [b.label for b in fn.blocks[order[head.label] : last + 1]]
+        loops.append(LoopInfo(head.label, body))
+    return loops
+
+
+def _analyze_induction(fn: IRFunction, loop: LoopInfo) -> None:
+    slot_of: dict[int, str] = {}
+    for instr in fn.instructions():
+        if isinstance(instr, LocalAddr):
+            slot_of[instr.dst.index] = instr.slot
+
+    body_blocks = [b for b in fn.blocks if b.label in loop.body]
+    loaded: dict[int, str] = {}
+    updated: dict[int, tuple[str, int]] = {}  # new temp -> (slot, step)
+    for block in body_blocks:
+        for instr in block.instrs:
+            if isinstance(instr, Load) and isinstance(instr.ptr, Temp):
+                slot = slot_of.get(instr.ptr.index)
+                if slot is not None:
+                    loaded[instr.dst.index] = slot
+            elif isinstance(instr, BinOp) and instr.op in ("+", "-"):
+                if (
+                    isinstance(instr.lhs, Temp)
+                    and instr.lhs.index in loaded
+                    and isinstance(instr.rhs, ImmInt)
+                ):
+                    step = instr.rhs.value if instr.op == "+" else -instr.rhs.value
+                    updated[instr.dst.index] = (loaded[instr.lhs.index], step)
+            elif isinstance(instr, Store) and isinstance(instr.ptr, Temp):
+                slot = slot_of.get(instr.ptr.index)
+                if (
+                    slot is not None
+                    and isinstance(instr.value, Temp)
+                    and instr.value.index in updated
+                    and updated[instr.value.index][0] == slot
+                ):
+                    loop.induction_slot = slot
+                    loop.step = updated[instr.value.index][1]
+            elif isinstance(instr, Store) and isinstance(instr.ptr, Temp):
+                pass
+            if isinstance(instr, Store):
+                # Count stores whose address chain roots at a global.
+                root = instr.ptr
+                if isinstance(root, Temp):
+                    loop.global_stores += _roots_at_global(fn, root)
+
+    # The exit condition: the head's Br on the updated value means an
+    # implicit `!= 0` test (while (--n) lowering); an explicit compare is
+    # recorded by its opcode.
+    head = fn.block_map().get(loop.head)
+    if head is not None and isinstance(head.terminator, Br):
+        cond = head.terminator.cond
+        if isinstance(cond, Temp) and cond.index in updated:
+            loop.exit_compare = "ne0"
+        else:
+            for instr in head.instrs:
+                if isinstance(instr, BinOp) and instr.dest() == cond:
+                    loop.exit_compare = instr.op
+                    break
+
+    # Initial value: a constant store to the induction slot before the loop.
+    if loop.induction_slot is not None:
+        for block in fn.blocks:
+            if block.label in loop.body:
+                break
+            for instr in block.instrs:
+                if (
+                    isinstance(instr, Store)
+                    and isinstance(instr.ptr, Temp)
+                    and slot_of.get(instr.ptr.index) == loop.induction_slot
+                    and isinstance(instr.value, ImmInt)
+                ):
+                    loop.init = instr.value.value
+
+
+def _roots_at_global(fn: IRFunction, temp: Temp) -> int:
+    """1 if the pointer temp is (transitively) a GlobalAddr, else 0."""
+    defs = {}
+    for instr in fn.instructions():
+        dst = instr.dest()
+        if dst is not None:
+            defs[dst.index] = instr
+    seen = set()
+    current = temp
+    while isinstance(current, Temp) and current.index not in seen:
+        seen.add(current.index)
+        d = defs.get(current.index)
+        if isinstance(d, GlobalAddr):
+            return 1
+        base = getattr(d, "base", None)
+        if base is None:
+            return 0
+        current = base
+    return 0
+
+
+def loop_vectorize(fn: IRFunction, ctx: OptContext) -> bool:
+    loops = _find_loops(fn)
+    for loop in loops:
+        _analyze_induction(fn, loop)
+        ctx.cov.hit("opt:vect:loop", (loop.step, loop.exit_compare))
+        ctx.stats.bump("loops_analyzed")
+        if loop.induction_slot is None:
+            ctx.cov.hit("opt:vect:no_induction", len(loop.body) > 3)
+            continue
+        downward_from_zero = (
+            loop.step is not None
+            and loop.step < 0
+            and loop.init == 0
+            and loop.exit_compare == "ne0"
+        )
+        features = {
+            "vect_loops": 1,
+            "vect_downward_zero_trip": int(downward_from_zero),
+            "vect_global_store_chain": int(loop.global_stores >= 4),
+            "vect_step": loop.step or 0,
+        }
+        ctx.stats.bump("vectorizable", int(loop.global_stores >= 4))
+        ctx.check("opt:loop_vectorize:trip_count", features)
+        ctx.cov.hit("opt:vect:induction", (loop.step, loop.global_stores >= 4))
+    return False

@@ -1,0 +1,78 @@
+"""CFG simplification: unreachable-block elimination, jump threading, and
+straight-line block merging."""
+
+from __future__ import annotations
+
+from repro.compiler.ir import Br, IRFunction, Jmp
+from repro.compiler.passes.common import OptContext, reachable_blocks
+
+
+def simplify_cfg(fn: IRFunction, ctx: OptContext) -> bool:
+    changed = False
+    # 1. Drop unreachable blocks.
+    reach = reachable_blocks(fn)
+    before = len(fn.blocks)
+    fn.blocks = [b for b in fn.blocks if b.label in reach]
+    if len(fn.blocks) != before:
+        ctx.cov.hit("opt:unreachable", before - len(fn.blocks) > 2)
+        ctx.stats.bump("unreachable_removed", before - len(fn.blocks))
+        changed = True
+
+    # 2. Thread jumps through empty forwarding blocks.
+    forward: dict[str, str] = {}
+    for b in fn.blocks:
+        if len(b.instrs) == 1 and isinstance(b.instrs[0], Jmp):
+            forward[b.label] = b.instrs[0].target
+    if forward:
+        def resolve(label: str) -> str:
+            seen = set()
+            while label in forward and label not in seen:
+                seen.add(label)
+                label = forward[label]
+            return label
+
+        for b in fn.blocks:
+            term = b.terminator
+            if isinstance(term, Jmp) and resolve(term.target) != term.target:
+                term.target = resolve(term.target)
+                changed = True
+                ctx.stats.bump("jumps_threaded")
+            elif isinstance(term, Br):
+                t, f = resolve(term.if_true), resolve(term.if_false)
+                if (t, f) != (term.if_true, term.if_false):
+                    term.if_true, term.if_false = t, f
+                    changed = True
+                    ctx.stats.bump("jumps_threaded")
+
+    # 3. Merge a block into its unique predecessor.
+    preds = fn.predecessors()
+    merged = True
+    while merged:
+        merged = False
+        block_map = fn.block_map()
+        for b in fn.blocks:
+            term = b.terminator
+            if not isinstance(term, Jmp):
+                continue
+            succ = block_map.get(term.target)
+            if succ is None or succ is b or succ is fn.blocks[0]:
+                continue
+            if len(preds.get(succ.label, [])) != 1:
+                continue
+            b.instrs = b.instrs[:-1] + succ.instrs
+            fn.blocks.remove(succ)
+            ctx.cov.hit("opt:merge", len(succ.instrs) > 4)
+            ctx.stats.bump("blocks_merged")
+            changed = True
+            merged = True
+            preds = fn.predecessors()
+            break
+
+    # 4. Collapse br with identical targets.
+    for b in fn.blocks:
+        term = b.terminator
+        if isinstance(term, Br) and term.if_true == term.if_false:
+            b.instrs[-1] = Jmp(term.if_true)
+            ctx.stats.bump("br_collapsed")
+            changed = True
+    return changed

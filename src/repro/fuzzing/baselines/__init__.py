@@ -1,0 +1,13 @@
+"""The four baseline fuzzers of §5.1: AFL++, GrayC, Csmith, and YARPGen.
+
+These re-implement each tool at the level the evaluation compares them —
+input representation (bytes vs. AST vs. grammar), coverage guidance, and
+characteristic compilable-mutant profile — not their full engineering.
+"""
+
+from repro.fuzzing.baselines.aflpp import AFLPlusPlus
+from repro.fuzzing.baselines.csmith import CsmithSim
+from repro.fuzzing.baselines.yarpgen import YarpGenSim
+from repro.fuzzing.baselines.grayc import GrayCSim
+
+__all__ = ["AFLPlusPlus", "CsmithSim", "YarpGenSim", "GrayCSim"]

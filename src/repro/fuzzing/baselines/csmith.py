@@ -1,0 +1,43 @@
+"""Csmith-style generation-based fuzzing.
+
+Generates well-formed, UB-free programs from scratch (no seeds, no coverage
+guidance — Csmith is a black-box generator).  Its grammar policy carefully
+avoids undefined behaviour (guarded divisions, masked shifts), which also
+means its outputs carry none of the mutation fingerprints the latent deep
+bugs key on: the saturation effect §5.2 observes (0 crashes on current
+compilers despite 1,440 CPU hours).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.compiler.driver import Compiler
+from repro.fuzzing.base import Fuzzer, StepResult
+from repro.fuzzing.progen import GenPolicy, ProgramGenerator
+
+CSMITH_POLICY = GenPolicy(
+    max_helpers=4,
+    max_stmts=14,
+    max_depth=3,
+    safe_math=True,
+    use_goto=True,
+    use_complex=False,
+)
+
+
+class CsmithSim(Fuzzer):
+    name = "Csmith"
+    step_cost = 2.75  # ≈31k programs / 24 h (Table 5)
+
+    def __init__(self, compiler: Compiler, rng: random.Random) -> None:
+        super().__init__(compiler, rng)
+
+    def step(self) -> StepResult:
+        gen = ProgramGenerator(
+            random.Random(self.rng.randrange(1 << 62)), CSMITH_POLICY
+        )
+        program = gen.generate()
+        result = self.compiler.compile(program)
+        self.coverage.merge(result.coverage)
+        return StepResult(program, result, kept=False, mutator=None)

@@ -1,0 +1,127 @@
+"""Campaign runner: drives fuzzers over a virtual clock and records trends.
+
+The paper's headline experiment runs 60 parallel instances for 24 hours per
+fuzzer/compiler pair.  The reproduction runs a fixed number of steps and maps
+them onto the virtual 24-hour axis, recording the coverage and unique-crash
+trends that Figures 7 and 9 plot.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.compiler.driver import Compiler
+from repro.muast.registry import MutatorRegistry
+
+# Importing the library populates the global registry with all 118 mutators.
+import repro.mutators  # noqa: F401  (registration side effect)
+from repro.fuzzing.base import Fuzzer
+from repro.fuzzing.baselines import AFLPlusPlus, CsmithSim, GrayCSim, YarpGenSim
+from repro.fuzzing.crash import CrashLog
+from repro.fuzzing.mucfuzz import MuCFuzz
+
+FUZZER_NAMES = ("uCFuzz.s", "uCFuzz.u", "AFL++", "GrayC", "Csmith", "YARPGen")
+
+
+@dataclass
+class CampaignResult:
+    fuzzer: str
+    compiler: str
+    steps: int
+    virtual_hours: float
+    #: (virtual hour, covered branch-edge count) samples.
+    coverage_trend: list[tuple[float, int]] = field(default_factory=list)
+    crashes: CrashLog = field(default_factory=CrashLog)
+    compiled: int = 0
+    total: int = 0
+    #: Modeled 24-hour program total (Table 5 extrapolation).
+    throughput_total: int = 0
+
+    @property
+    def compilable_ratio(self) -> float:
+        return self.compiled / self.total if self.total else 0.0
+
+    @property
+    def final_coverage(self) -> int:
+        return self.coverage_trend[-1][1] if self.coverage_trend else 0
+
+    def crash_trend(self) -> list[tuple[float, int]]:
+        return self.crashes.timeline()
+
+
+def make_fuzzer(
+    name: str,
+    compiler: Compiler,
+    seeds: list[str],
+    registry: MutatorRegistry,
+    rng: random.Random,
+) -> Fuzzer:
+    """Instantiate one of the six evaluated fuzzers by its paper name."""
+    if name == "uCFuzz.s":
+        return MuCFuzz(compiler, rng, seeds, registry.supervised(), name=name)
+    if name == "uCFuzz.u":
+        return MuCFuzz(compiler, rng, seeds, registry.unsupervised(), name=name)
+    if name == "AFL++":
+        return AFLPlusPlus(compiler, rng, seeds)
+    if name == "GrayC":
+        return GrayCSim(compiler, rng, seeds)
+    if name == "Csmith":
+        return CsmithSim(compiler, rng)
+    if name == "YARPGen":
+        return YarpGenSim(compiler, rng)
+    raise ValueError(f"unknown fuzzer {name!r}")
+
+
+def run_campaign(
+    fuzzer: Fuzzer,
+    steps: int,
+    virtual_hours: float = 24.0,
+    sample_points: int = 24,
+) -> CampaignResult:
+    """Run ``steps`` fuzzing iterations mapped onto a virtual time span."""
+    result = CampaignResult(
+        fuzzer=getattr(fuzzer, "name", type(fuzzer).__name__),
+        compiler=fuzzer.compiler.name,
+        steps=steps,
+        virtual_hours=virtual_hours,
+    )
+    sample_every = max(steps // max(sample_points, 1), 1)
+    for i in range(steps):
+        vhour = (i + 1) / steps * virtual_hours
+        step = fuzzer.step()
+        result.total += 1
+        if step.result.ok or (step.result.crashed and not step.result.diagnostics):
+            result.compiled += 1
+        if step.result.crashed:
+            result.crashes.add(step.result, vhour, step.program)
+        if (i + 1) % sample_every == 0 or i + 1 == steps:
+            result.coverage_trend.append((vhour, len(fuzzer.coverage)))
+    result.throughput_total = int(virtual_hours * 3600 / fuzzer.step_cost)
+    return result
+
+
+@dataclass
+class Campaign:
+    """The full RQ1 comparison: all six fuzzers over the given compilers."""
+
+    compilers: list[Compiler]
+    seeds: list[str]
+    registry: MutatorRegistry
+    steps: int = 600
+    base_seed: int = 2024
+
+    def run(
+        self, fuzzer_names: tuple[str, ...] = FUZZER_NAMES
+    ) -> list[CampaignResult]:
+        results = []
+        for compiler in self.compilers:
+            for name in fuzzer_names:
+                rng = random.Random(
+                    (hash((name, compiler.name)) ^ self.base_seed) & 0xFFFFFFFF
+                )
+                fuzzer = make_fuzzer(
+                    name, compiler, self.seeds, self.registry, rng
+                )
+                results.append(run_campaign(fuzzer, self.steps))
+        return results

@@ -1,0 +1,74 @@
+"""Crash collection and deduplication for fuzzing runs.
+
+A crash is uniquely identified by its top two stack frames (§5.1); hangs are
+bucketed by the responsible bug since they produce no backtrace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.crash import CompilerCrash, CompilerHang, CrashSignature, StackFrame
+from repro.compiler.driver import CompileResult
+
+
+@dataclass(frozen=True)
+class CrashRecord:
+    signature: CrashSignature
+    bug_id: str
+    module: str
+    kind: str  # "assert" | "segfault" | "hang"
+    message: str
+
+
+def record_from_result(result: CompileResult) -> CrashRecord | None:
+    if result.crash is not None:
+        crash = result.crash
+        return CrashRecord(
+            crash.signature(), crash.bug_id, crash.module, crash.kind, crash.message
+        )
+    if result.hang is not None:
+        hang = result.hang
+        sig = CrashSignature((StackFrame("<hang>", 0), StackFrame(hang.bug_id, 0)))
+        return CrashRecord(sig, hang.bug_id, hang.module, "hang", hang.message)
+    return None
+
+
+@dataclass
+class CrashLog:
+    """Unique crashes with first-discovery bookkeeping."""
+
+    records: dict[CrashSignature, CrashRecord] = field(default_factory=dict)
+    first_seen: dict[CrashSignature, float] = field(default_factory=dict)
+    triggers: dict[CrashSignature, str] = field(default_factory=dict)
+
+    def add(
+        self, result: CompileResult, when: float, program: str = ""
+    ) -> CrashRecord | None:
+        """Record a crash from a compile result; returns it iff it is new."""
+        rec = record_from_result(result)
+        if rec is None:
+            return None
+        if rec.signature in self.records:
+            return None
+        self.records[rec.signature] = rec
+        self.first_seen[rec.signature] = when
+        self.triggers[rec.signature] = program
+        return rec
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def signatures(self) -> set[CrashSignature]:
+        return set(self.records)
+
+    def by_module(self) -> dict[str, int]:
+        out = {"front-end": 0, "ir-gen": 0, "optimization": 0, "back-end": 0}
+        for rec in self.records.values():
+            out[rec.module] += 1
+        return out
+
+    def timeline(self) -> list[tuple[float, int]]:
+        """(time, cumulative unique crashes) discovery curve."""
+        times = sorted(self.first_seen.values())
+        return [(t, i + 1) for i, t in enumerate(times)]

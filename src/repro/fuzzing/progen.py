@@ -1,0 +1,340 @@
+"""A policy-driven random C program generator.
+
+Three consumers share this substrate with different policies:
+
+* :mod:`repro.fuzzing.seedgen` — compiler-test-suite style seeds (feature
+  rich, moderate size);
+* the Csmith baseline — UB-free expression-heavy programs (safe wrappers
+  around division, shifts kept narrow), mirroring Csmith's design goal;
+* the YARPGen baseline — loop- and arithmetic-focused programs per its
+  loop-optimization generation policies.
+
+Generated programs are compilable by construction: every expression only
+references in-scope variables with compatible types.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass
+class GenPolicy:
+    max_helpers: int = 3
+    max_stmts: int = 10
+    max_depth: int = 3
+    max_expr_depth: int = 3
+    use_goto: bool = True
+    use_switch: bool = True
+    use_struct: bool = True
+    use_arrays: bool = True
+    use_strings: bool = True
+    use_complex: bool = False
+    #: Guard divisions/shifts so no UB is possible (Csmith style).
+    safe_math: bool = True
+    #: Bias heavily towards counting loops over global arrays (YARPGen).
+    loop_focus: bool = False
+    int_types: tuple[str, ...] = ("int", "unsigned int", "long", "char", "short")
+    print_result: bool = True
+
+
+@dataclass
+class _Var:
+    name: str
+    ctype: str
+    is_array: bool = False
+    array_len: int = 0
+
+
+@dataclass
+class _Scope:
+    vars: list[_Var] = field(default_factory=list)
+
+
+class _Emitter:
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.depth = 0
+
+    def emit(self, text: str) -> None:
+        self.lines.append("  " * self.depth + text)
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class ProgramGenerator:
+    """Generates one random, compilable C program per ``generate`` call."""
+
+    def __init__(self, rng: random.Random, policy: GenPolicy | None = None) -> None:
+        self.rng = rng
+        self.policy = policy or GenPolicy()
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+
+    def generate(self) -> str:
+        rng, pol = self.rng, self.policy
+        self._counter = 0
+        out = _Emitter()
+        self.globals: list[_Var] = []
+        self.helpers: list[tuple[str, int]] = []  # (name, arity)
+
+        n_globals = rng.randint(2, 5)
+        for _ in range(n_globals):
+            self._emit_global(out)
+        if pol.use_struct and rng.random() < 0.4:
+            out.emit("struct rec { int a; int b; long c; };")
+            out.emit("struct rec shared = { 1, 2, 3 };")
+        if pol.use_complex and rng.random() < 0.3:
+            out.emit("_Complex double cplx;")
+
+        n_helpers = rng.randint(1, pol.max_helpers)
+        for _ in range(n_helpers):
+            self._emit_helper(out)
+
+        self._emit_main(out)
+        return out.text()
+
+    # ------------------------------------------------------------------
+
+    def _name(self, base: str) -> str:
+        self._counter += 1
+        return f"{base}{self._counter}"
+
+    def _emit_global(self, out: _Emitter) -> None:
+        rng, pol = self.rng, self.policy
+        ctype = rng.choice(pol.int_types + ("double",) if rng.random() < 0.2 else pol.int_types)
+        name = self._name("g")
+        if pol.use_arrays and rng.random() < (0.55 if pol.loop_focus else 0.3):
+            length = rng.choice([4, 6, 8, 16, 32, 64])
+            out.emit(f"{ctype} {name}[{length}];")
+            self.globals.append(_Var(name, ctype, True, length))
+            return
+        init = ""
+        if rng.random() < 0.6:
+            if ctype == "double":
+                init = f" = {rng.randint(0, 99)}.{rng.randint(0, 9)}"
+            else:
+                init = f" = {rng.randint(-64, 1024)}"
+        storage = "static " if rng.random() < 0.3 else ""
+        out.emit(f"{storage}{ctype} {name}{init};")
+        self.globals.append(_Var(name, ctype))
+
+    def _emit_helper(self, out: _Emitter) -> None:
+        rng = self.rng
+        name = self._name("fn")
+        arity = rng.randint(1, 3)
+        params = [_Var(f"p{i}", "int") for i in range(arity)]
+        sig = ", ".join(f"int {p.name}" for p in params)
+        out.emit(f"int {name}({sig}) {{")
+        out.depth += 1
+        scope = _Scope(list(params) + [g for g in self.globals if not g.is_array])
+        n = rng.randint(2, max(3, self.policy.max_stmts // 2))
+        for _ in range(n):
+            self._emit_stmt(out, scope, depth=1)
+        out.emit(f"return {self._int_expr(scope, 0)};")
+        out.depth -= 1
+        out.emit("}")
+        self.helpers.append((name, arity))
+
+    def _emit_main(self, out: _Emitter) -> None:
+        rng, pol = self.rng, self.policy
+        out.emit("int main(void) {")
+        out.depth += 1
+        scope = _Scope([g for g in self.globals if not g.is_array])
+        n_locals = rng.randint(2, 4)
+        for _ in range(n_locals):
+            name = self._name("v")
+            ctype = rng.choice(pol.int_types)
+            out.emit(f"{ctype} {name} = {rng.randint(-16, 128)};")
+            scope.vars.append(_Var(name, ctype))
+        n = rng.randint(3, pol.max_stmts)
+        for _ in range(n):
+            self._emit_stmt(out, scope, depth=1)
+        if pol.print_result and scope.vars:
+            v = rng.choice(scope.vars)
+            fmt = "%f" if v.ctype == "double" else "%d"
+            cast = "(double)" if v.ctype == "double" else "(int)"
+            out.emit(f'printf("{fmt}\\n", {cast}{v.name});')
+        out.emit(f"return {rng.randint(0, 3)};")
+        out.depth -= 1
+        out.emit("}")
+
+    # -- statements --------------------------------------------------------
+
+    def _emit_stmt(self, out: _Emitter, scope: _Scope, depth: int) -> None:
+        rng, pol = self.rng, self.policy
+        choices = ["assign", "assign", "compound_assign", "if", "decl"]
+        if depth < pol.max_depth:
+            choices += ["for", "if"]
+            if not pol.loop_focus:
+                choices += ["while"]
+            else:
+                choices += ["for", "for"]
+            if pol.use_switch:
+                choices.append("switch")
+        if self.helpers:
+            choices.append("call")
+        if pol.use_arrays and any(g.is_array for g in self.globals):
+            choices += ["array_store", "array_store" if pol.loop_focus else "assign"]
+        if pol.use_goto and depth == 1 and rng.random() < 0.15:
+            choices.append("goto_fwd")
+        kind = rng.choice(choices)
+        emit = getattr(self, f"_stmt_{kind}")
+        emit(out, scope, depth)
+
+    def _stmt_decl(self, out: _Emitter, scope: _Scope, depth: int) -> None:
+        name = self._name("t")
+        ctype = self.rng.choice(self.policy.int_types)
+        out.emit(f"{ctype} {name} = {self._int_expr(scope, 0)};")
+        scope.vars.append(_Var(name, ctype))
+
+    def _stmt_assign(self, out: _Emitter, scope: _Scope, depth: int) -> None:
+        target = self._pick_int_var(scope)
+        if target is None:
+            self._stmt_decl(out, scope, depth)
+            return
+        expr = self._int_expr(scope, 0)
+        if expr == target.name:
+            expr = f"({expr} + 2)"
+        out.emit(f"{target.name} = {expr};")
+
+    def _stmt_compound_assign(self, out: _Emitter, scope: _Scope, depth: int) -> None:
+        target = self._pick_int_var(scope)
+        if target is None:
+            return
+        op = self.rng.choice(["+=", "-=", "*=", "^=", "|=", "&="])
+        out.emit(f"{target.name} {op} {self._int_expr(scope, 1)};")
+
+    def _stmt_if(self, out: _Emitter, scope: _Scope, depth: int) -> None:
+        out.emit(f"if ({self._cond_expr(scope)}) {{")
+        out.depth += 1
+        inner = _Scope(list(scope.vars))
+        self._emit_stmt(out, inner, depth + 1)
+        if self.rng.random() < 0.5:
+            self._emit_stmt(out, inner, depth + 1)
+        out.depth -= 1
+        if self.rng.random() < 0.5:
+            out.emit("} else {")
+            out.depth += 1
+            inner_else = _Scope(list(scope.vars))
+            self._emit_stmt(out, inner_else, depth + 1)
+            out.depth -= 1
+        out.emit("}")
+
+    def _stmt_for(self, out: _Emitter, scope: _Scope, depth: int) -> None:
+        i = self._name("i")
+        bound = self.rng.choice([4, 8, 16, 32, 64])
+        out.emit(f"int {i};")
+        out.emit(f"for ({i} = 0; {i} < {bound}; {i}++) {{")
+        out.depth += 1
+        inner = _Scope(list(scope.vars) + [_Var(i, "int")])
+        if self.policy.loop_focus and any(g.is_array for g in self.globals):
+            arr = self.rng.choice([g for g in self.globals if g.is_array])
+            idx = f"{i} % {arr.array_len}" if arr.array_len < bound else i
+            out.emit(f"{arr.name}[{idx}] += {self._int_expr(inner, 1)};")
+        self._emit_stmt(out, inner, depth + 1)
+        out.depth -= 1
+        out.emit("}")
+
+    def _stmt_while(self, out: _Emitter, scope: _Scope, depth: int) -> None:
+        counter = self._name("w")
+        out.emit(f"int {counter} = {self.rng.randint(2, 9)};")
+        out.emit(f"while ({counter} > 0) {{")
+        out.depth += 1
+        inner = _Scope(list(scope.vars) + [_Var(counter, "int")])
+        self._emit_stmt(out, inner, depth + 1)
+        out.emit(f"{counter}--;")
+        out.depth -= 1
+        out.emit("}")
+
+    def _stmt_switch(self, out: _Emitter, scope: _Scope, depth: int) -> None:
+        var = self._pick_int_var(scope)
+        if var is None:
+            return
+        n_cases = self.rng.randint(2, 4)
+        out.emit(f"switch ({var.name} & {n_cases + 1}) {{")
+        out.depth += 1
+        for c in range(n_cases):
+            out.emit(f"case {c}:")
+            out.depth += 1
+            self._emit_stmt(out, _Scope(list(scope.vars)), depth + 1)
+            if self.rng.random() < 0.8:
+                out.emit("break;")
+            out.depth -= 1
+        out.emit("default:")
+        out.depth += 1
+        self._emit_stmt(out, _Scope(list(scope.vars)), depth + 1)
+        out.depth -= 1
+        out.depth -= 1
+        out.emit("}")
+
+    def _stmt_call(self, out: _Emitter, scope: _Scope, depth: int) -> None:
+        name, arity = self.rng.choice(self.helpers)
+        args = ", ".join(self._int_expr(scope, 0) for _ in range(arity))
+        target = self._pick_int_var(scope)
+        if target is not None and self.rng.random() < 0.7:
+            out.emit(f"{target.name} = {name}({args});")
+        else:
+            out.emit(f"{name}({args});")
+
+    def _stmt_array_store(self, out: _Emitter, scope: _Scope, depth: int) -> None:
+        arrays = [g for g in self.globals if g.is_array]
+        if not arrays:
+            return
+        arr = self.rng.choice(arrays)
+        idx = self.rng.randrange(arr.array_len)
+        out.emit(f"{arr.name}[{idx}] = {self._int_expr(scope, 0)};")
+
+    def _stmt_goto_fwd(self, out: _Emitter, scope: _Scope, depth: int) -> None:
+        label = self._name("skip")
+        target = self._pick_int_var(scope)
+        if target is None:
+            return
+        out.emit(f"if ({self._cond_expr(scope)}) goto {label};")
+        self._emit_stmt(out, _Scope(list(scope.vars)), depth + 1)
+        out.emit(f"{label}: {target.name} ^= 3;")
+
+    # -- expressions ---------------------------------------------------------
+
+    def _pick_int_var(self, scope: _Scope) -> _Var | None:
+        ints = [v for v in scope.vars if v.ctype != "double" and not v.is_array]
+        return self.rng.choice(ints) if ints else None
+
+    def _int_atom(self, scope: _Scope) -> str:
+        rng = self.rng
+        var = self._pick_int_var(scope)
+        if var is not None and rng.random() < 0.7:
+            return var.name
+        return str(rng.choice([2, 3, 5, 7, 10, 16, 63, 255, rng.randint(2, 999)]))
+
+    def _int_expr(self, scope: _Scope, depth: int) -> str:
+        rng, pol = self.rng, self.policy
+        if depth >= pol.max_expr_depth or rng.random() < 0.35:
+            return self._int_atom(scope)
+        op = rng.choice(["+", "-", "*", "&", "|", "^", "%", "/", "<<", ">>"])
+        lhs = self._int_expr(scope, depth + 1)
+        rhs = self._int_expr(scope, depth + 1)
+        if op in ("/", "%"):
+            if pol.safe_math:
+                rhs = f"(({rhs}) | 1)"
+            else:
+                rhs = f"({rhs} + 1)"
+        if op in ("<<", ">>"):
+            rhs = f"({rhs} & 7)"
+        return f"({lhs} {op} {rhs})"
+
+    def _cond_expr(self, scope: _Scope) -> str:
+        rng = self.rng
+        var = self._pick_int_var(scope)
+        lhs = var.name if var is not None else self._int_expr(scope, 1)
+        op = rng.choice(["<", ">", "<=", ">=", "==", "!="])
+        rhs = self._int_atom(scope)
+        cond = f"{lhs} {op} {rhs}"
+        if rng.random() < 0.25:
+            left = var.name if var is not None else self._int_atom(scope)
+            other = f"{left} {rng.choice(['<', '!='])} {self._int_atom(scope)}"
+            cond = f"{cond} {rng.choice(['&&', '||'])} {other}"
+        return cond

@@ -1,0 +1,26 @@
+"""The simulated LLM substrate.
+
+The paper drives GPT-4 through OpenAI's ChatCompletion API.  Offline, we
+substitute a deterministic simulated model that reproduces the *observable*
+behaviour MetaMut depends on and the paper measures: which mutators get
+invented, how often first-draft implementations carry which classes of bugs
+(Table 1), how many tokens/QA rounds/seconds each stage costs (Tables 2-3),
+and how often the API itself fails (24 of 100 unsupervised invocations).
+"""
+
+from repro.llm.client import APIError, LLMClient
+from repro.llm.costs import CostLedger, MutatorCost, StageCost
+from repro.llm.faults import Fault, FaultKind, sample_faults
+from repro.llm.model import SimulatedLLM
+
+__all__ = [
+    "APIError",
+    "LLMClient",
+    "CostLedger",
+    "MutatorCost",
+    "StageCost",
+    "Fault",
+    "FaultKind",
+    "sample_faults",
+    "SimulatedLLM",
+]

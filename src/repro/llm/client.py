@@ -1,0 +1,69 @@
+"""The LLM API client: latency, token accounting, and throttling errors.
+
+Wraps :class:`SimulatedLLM` behind a ChatCompletion-shaped interface.  Every
+request consumes virtual wait/prepare time and tokens (Tables 2-3); a small
+per-request failure probability reproduces the API throttling/timeouts that
+killed 24 of the paper's 100 unsupervised invocations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.llm import costs
+from repro.llm.model import SimulatedLLM
+
+
+class APIError(Exception):
+    """An API-side failure (throttle / timeout)."""
+
+
+@dataclass
+class ChatUsage:
+    tokens: int
+    wait_seconds: float
+
+
+class LLMClient:
+    """A thin, failure-prone transport in front of the model.
+
+    ``failure_rate`` is per *request*; an invocation issues ~6 requests on
+    average, so the default reproduces the ~24% per-invocation failure rate
+    of §4.
+    """
+
+    def __init__(
+        self,
+        model: SimulatedLLM | None = None,
+        failure_rate: float = 0.040,
+    ) -> None:
+        self.model = model or SimulatedLLM()
+        self.failure_rate = failure_rate
+        self.requests = 0
+        self.failures = 0
+
+    def _request(self, rng: random.Random, tokens: int) -> ChatUsage:
+        self.requests += 1
+        if rng.random() < self.failure_rate:
+            self.failures += 1
+            raise APIError("rate limited (simulated throttle/timeout)")
+        return ChatUsage(tokens, costs.sample_wait_seconds(rng))
+
+    # -- the three request kinds MetaMut issues ---------------------------
+
+    def invent(self, rng: random.Random, avoid: set[str], origin: str):
+        usage = self._request(rng, costs.sample_invention_tokens(rng))
+        return self.model.invent(rng, avoid, origin), usage
+
+    def synthesize(self, rng: random.Random, invention):
+        usage = self._request(rng, costs.sample_implementation_tokens(rng))
+        return self.model.synthesize(rng, invention), usage
+
+    def fix(self, rng: random.Random, impl, goal: int):
+        usage = self._request(rng, costs.sample_bugfix_round_tokens(rng))
+        return self.model.fix(rng, impl, goal), usage
+
+    def generate_tests(self, rng: random.Random, invention):
+        usage = self._request(rng, costs.sample_bugfix_round_tokens(rng))
+        return self.model.generate_tests(rng, invention), usage

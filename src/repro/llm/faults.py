@@ -1,0 +1,132 @@
+"""The first-draft fault model (Table 1's bug population).
+
+A tentative LLM implementation may carry faults, each of which violates one
+of the validation goals #1-#6 of §3.3.  Faults are *behavioural wrappers*
+around the final (correct) mutator class: validation observes exactly what
+the paper's validation loop observes, and each successful bug-fix round
+removes one fault.
+
+Category weights follow Table 1: mutator-not-compiling dominates (51.4%),
+followed by compile-error mutants (33.6%); hangs are never auto-fixable
+(0 fixed in Table 1 — mutators with a hang fault die in the loop).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from repro.muast.mutator import Mutator, MutatorCrash, MutatorHang
+
+
+class FaultKind(enum.Enum):
+    """Indexed by the validation goal the fault violates."""
+
+    NOT_COMPILE = 1
+    HANG = 2
+    CRASH = 3
+    NO_OUTPUT = 4
+    NO_REWRITE = 5
+    BAD_MUTANT = 6
+
+
+#: Sampling weights for first-draft faults, shaped after Table 1's fixed-bug
+#: census (55, 0*, 4, 11, 1, 36 — hangs appear rarely and kill the mutator).
+FAULT_WEIGHTS = {
+    FaultKind.NOT_COMPILE: 51,
+    FaultKind.HANG: 2,
+    FaultKind.CRASH: 5,
+    FaultKind.NO_OUTPUT: 11,
+    FaultKind.NO_REWRITE: 2,
+    FaultKind.BAD_MUTANT: 34,
+}
+
+#: Human-readable snippets for the synthesized-source rendering of a fault.
+FAULT_MARKERS = {
+    FaultKind.NOT_COMPILE: "// BUG: unbalanced parenthesis in visitor guard",
+    FaultKind.HANG: "// BUG: worklist loop never pops",
+    FaultKind.CRASH: "// BUG: unchecked randElement on empty collection",
+    FaultKind.NO_OUTPUT: "// BUG: early `return false` left from skeleton",
+    FaultKind.NO_REWRITE: "// BUG: rewriter edits computed but not applied",
+    FaultKind.BAD_MUTANT: "// BUG: replacement text drops a trailing brace",
+}
+
+
+@dataclass(frozen=True)
+class Fault:
+    kind: FaultKind
+
+    @property
+    def marker(self) -> str:
+        return FAULT_MARKERS[self.kind]
+
+
+def sample_faults(rng: random.Random, *, allow_hang: bool = False) -> list[Fault]:
+    """Sample the fault set of a first-draft implementation.
+
+    Roughly half of first drafts are correct (§3.2: "nearly half of the
+    mutators are correct on the first attempt"); the rest carry a handful of
+    faults (Table 1: 107 bugs across 27 faulty drafts ≈ 4 each).
+    """
+    if rng.random() < 0.44:
+        return []
+    n = max(1, min(10, int(rng.gauss(4.8, 2.2))))
+    kinds = list(FAULT_WEIGHTS)
+    weights = [FAULT_WEIGHTS[k] for k in kinds]
+    if not allow_hang:
+        weights[kinds.index(FaultKind.HANG)] = 0
+    picked = rng.choices(kinds, weights=weights, k=n)
+    # Duplicate kinds collapse per kind is fine — each instance is a distinct
+    # bug occurrence the loop must fix (the paper counts occurrences).
+    return [Fault(k) for k in picked]
+
+
+class FaultyMutator(Mutator):
+    """A mutator whose behaviour is degraded by its remaining faults.
+
+    Wraps the real (eventually-correct) implementation; the ordering of
+    fault effects mirrors the refinement loop's goal ordering so feedback is
+    always about the *simplest* unmet goal.
+    """
+
+    def __init__(self, inner: Mutator, faults: list[Fault]) -> None:
+        super().__init__(inner.rng)
+        self.inner = inner
+        self.faults = list(faults)
+        self.name = inner.name
+        self.description = inner.description
+
+    def _has(self, kind: FaultKind) -> bool:
+        return any(f.kind is kind for f in self.faults)
+
+    def bind(self, ctx) -> None:
+        super().bind(ctx)
+        self.inner.bind(ctx)
+
+    def get_rewriter(self):
+        return self.inner.get_rewriter()
+
+    def mutate(self) -> bool:
+        if self._has(FaultKind.HANG):
+            raise MutatorHang(f"{self.name} looped forever")
+        if self._has(FaultKind.CRASH):
+            raise MutatorCrash(f"{self.name}: randElement on empty collection")
+        if self._has(FaultKind.NO_OUTPUT):
+            return False
+        changed = self.inner.mutate()
+        if not changed:
+            return False
+        if self._has(FaultKind.NO_REWRITE):
+            # Claims success but the edits never reach the rewriter.
+            rewriter = self.inner.get_rewriter()
+            rewriter._edits.clear()
+            return True
+        if self._has(FaultKind.BAD_MUTANT):
+            # The replacement text is subtly broken (a stray token).
+            rewriter = self.inner.get_rewriter()
+            rewriter.insert_text_before(
+                self.inner.get_ast_context().unit.range.end, "\n)"
+            )
+            return True
+        return True

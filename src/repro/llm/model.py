@@ -1,0 +1,237 @@
+"""The simulated GPT-4.
+
+Deterministic (given an RNG) stand-in for the LLM behind MetaMut.  It
+answers the three prompt kinds the framework issues — invention, synthesis,
+bug-fix — plus test generation.  Its "knowledge" is the mutator design space
+itself: the validated library in :mod:`repro.mutators` (what the real GPT-4
+eventually produced) and a set of *decoy* inventions with predetermined
+failure fates, sized to §4.1's census of the 26 invalid unsupervised
+mutators (6 refinement-loop deaths, 7 mismatched implementations, 10 with
+unthorough test coverage, 3 duplicates).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.llm.faults import Fault, FaultKind, sample_faults
+from repro.muast.mutator import Mutator
+from repro.muast.registry import MutatorInfo, MutatorRegistry, global_registry
+
+# Importing the library populates the global registry with all 118 mutators.
+import repro.mutators  # noqa: F401  (registration side effect)
+
+
+@dataclass(frozen=True)
+class Invention:
+    """Stage-1 output: a mutator name + description (+ its secret fate)."""
+
+    name: str
+    description: str
+    action: str
+    structure: str
+    #: "valid" | "refine-death" | "mismatched" | "unthorough" | "duplicate"
+    fate: str = "valid"
+    #: For valid inventions: the registry entry this will converge to.
+    registry_name: str | None = None
+
+
+@dataclass
+class Implementation:
+    """Stage-2/3 artifact: a tentative or repaired mutator implementation."""
+
+    invention: Invention
+    base: MutatorInfo
+    faults: list[Fault] = field(default_factory=list)
+    #: Faults the LLM cannot repair (refinement-death decoys).
+    unfixable: bool = False
+    #: Passes automated validation but misbehaves on complex inputs
+    #: (unthorough decoys) or under its description (mismatched decoys).
+    latent_defect: str | None = None
+    revision: int = 0
+
+    @property
+    def source(self) -> str:
+        # Imported lazily: repro.metamut imports repro.llm at module level.
+        from repro.metamut.template import render_implementation
+
+        markers = [f.marker for f in self.faults]
+        return render_implementation(self.base.cls, markers)
+
+    def has_compile_fault(self) -> bool:
+        return any(f.kind is FaultKind.NOT_COMPILE for f in self.faults)
+
+    def instantiate(self, rng: random.Random) -> Mutator:
+        """Build the runnable mutator with its remaining behaviour faults."""
+        from repro.llm.faults import FaultyMutator
+
+        inner = self.base.create(rng)
+        inner.name = self.invention.name
+        inner.description = self.invention.description
+        behaviour_faults = [
+            f for f in self.faults if f.kind is not FaultKind.NOT_COMPILE
+        ]
+        if not behaviour_faults:
+            return inner
+        return FaultyMutator(inner, behaviour_faults)
+
+
+#: Decoy inventions: names/descriptions GPT-4 plausibly produces whose
+#: implementations the paper's authors ultimately rejected (§4.1).
+_DECOYS: list[tuple[str, str, str, str, str]] = [
+    # fate "refine-death" (6): the loop never converges.
+    ("ReorderSwitchCases", "This mutator permutes the case order of a switch statement.", "Swap", "SwitchStmt", "refine-death"),
+    ("MergeNestedIfs", "This mutator merges a nested if pair into a single conjunction.", "Combine", "IfStmt", "refine-death"),
+    ("FlattenCompoundStmt", "This mutator splices a nested compound statement into its parent.", "Destruct", "CompoundStmt", "refine-death"),
+    ("RotateArgumentList", "This mutator rotates all arguments of a call by one position.", "Swap", "CallExpr", "refine-death"),
+    ("HoistLoopInvariant", "This mutator hoists a loop-invariant statement out of a loop.", "Lift", "ForStmt", "refine-death"),
+    ("SplitForIntoWhile", "This mutator splits a for loop into init, while, and step parts.", "Destruct", "ForStmt", "refine-death"),
+    # fate "mismatched" (7): valid-looking but diverges from its description.
+    ("InverseUnaryOperatorV2", "This mutator selects a unary operation and inverses it, e.g. -a becomes -(-a).", "Inverse", "UnaryOperator", "mismatched"),
+    ("NegateAllComparisons", "This mutator negates every comparison in a function.", "Inverse", "ComparisonExpr", "mismatched"),
+    ("SwapGlobalInitializers", "This mutator swaps the initializers of two global variables.", "Swap", "VarDecl", "mismatched"),
+    ("PromoteParamToGlobal", "This mutator promotes a parameter into a global variable.", "Lift", "ParmVarDecl", "mismatched"),
+    ("ReplaceWithSizeof", "This mutator replaces an integer expression by a sizeof expression.", "Modify", "SizeofExpr", "mismatched"),
+    ("CollapseTernary", "This mutator collapses a conditional operator to its taken branch.", "Destruct", "ConditionalOperator", "mismatched"),
+    ("DistributeAnd", "This mutator distributes a logical AND over a logical OR.", "Destruct", "LogicalExpr", "mismatched"),
+    # fate "unthorough" (10): pass the LLM tests, fail the authors' tests.
+    ("InlineSingleUseVariable", "This mutator inlines a variable used exactly once.", "Inline", "VarDecl", "unthorough"),
+    ("SwapStructFields", "This mutator swaps two fields of a struct definition.", "Swap", "FieldDecl", "unthorough"),
+    ("WidenAllShifts", "This mutator widens every shift amount by eight.", "Modify", "ShiftExpr", "unthorough"),
+    ("DuplicateCaseBody", "This mutator duplicates the body of a switch case.", "Copy", "CaseStmt", "unthorough"),
+    ("StringToCharArray", "This mutator rewrites a string literal into a char array initializer.", "Modify", "StringLiteral", "unthorough"),
+    ("UnrollInnerLoop", "This mutator fully unrolls an inner loop with constant bounds.", "Copy", "ForStmt", "unthorough"),
+    ("MergeDeclarations", "This mutator merges adjacent declarations of the same type.", "Combine", "VarDecl", "unthorough"),
+    ("PushNegationInward", "This mutator pushes a logical negation into a comparison.", "Inverse", "LogicalExpr", "unthorough"),
+    ("ExtractCondition", "This mutator extracts a branch condition into a fresh variable.", "Lift", "IfStmt", "unthorough"),
+    ("RenameAllLocals", "This mutator renames every local variable in a function.", "Modify", "VarDecl", "unthorough"),
+    # fate "duplicate" (3): re-inventions of existing mutators.
+    ("ReplaceIntegerConstant", "This mutator randomly selects an integer constant and replaces it with a random value.", "Modify", "IntegerLiteral", "duplicate"),
+    ("FlipRelationalOperator", "This mutator flips a relational operator to a different one.", "Modify", "ComparisonExpr", "duplicate"),
+    ("SwapIfBranches", "This mutator swaps the branches of an if statement and negates its condition.", "Swap", "IfStmt", "duplicate"),
+]
+
+
+class SimulatedLLM:
+    """Deterministic GPT-4 stand-in (temperature 0.8, top-p 0.95 modelled by
+    the RNG the caller supplies)."""
+
+    def __init__(
+        self,
+        registry: MutatorRegistry | None = None,
+        temperature: float = 0.8,
+        top_p: float = 0.95,
+    ) -> None:
+        self.registry = registry or global_registry
+        self.temperature = temperature
+        self.top_p = top_p
+
+    # ------------------------------------------------------------- stage 1
+
+    def invent(
+        self,
+        rng: random.Random,
+        avoid: set[str],
+        origin: str = "unsupervised",
+    ) -> Invention:
+        """Sample a mutator name/description, honoring the sampling hints.
+
+        Higher temperature widens the share of decoy (ultimately-invalid)
+        inventions, approximating the beam-search-like sampling of §2.
+        """
+        decoys = [d for d in _DECOYS if d[0] not in avoid]
+        pool = [
+            info
+            for info in self.registry.by_origin(origin)
+            if info.name not in avoid
+        ]
+        # §4.1: of 76 completed invocations, 50 were valid — decoys make up
+        # roughly a third of what the model dreams up.
+        decoy_share = 0.34 * (self.temperature / 0.8)
+        if decoys and (not pool or rng.random() < decoy_share):
+            name, desc, action, structure, fate = decoys[
+                rng.randrange(len(decoys))
+            ]
+            return Invention(name, desc, action, structure, fate)
+        if not pool:
+            # Nothing new left to invent: re-offer a duplicate.
+            info = self.registry.by_origin(origin)[
+                rng.randrange(len(self.registry.by_origin(origin)))
+            ]
+            return Invention(
+                info.name, info.description, info.action, info.structure,
+                "duplicate", registry_name=info.name,
+            )
+        info = pool[rng.randrange(len(pool))]
+        return Invention(
+            info.name, info.description, info.action, info.structure,
+            "valid", registry_name=info.name,
+        )
+
+    # ------------------------------------------------------------- stage 2
+
+    def synthesize(self, rng: random.Random, invention: Invention) -> Implementation:
+        """One-shot template completion, with first-draft faults."""
+        base = self._base_info(rng, invention)
+        if invention.fate == "refine-death":
+            # A structurally broken draft the loop can never converge on:
+            # it always carries a hang or an unfixable compile error.
+            kind = rng.choice([FaultKind.HANG, FaultKind.NOT_COMPILE])
+            faults = [Fault(kind)] + sample_faults(rng)
+            return Implementation(invention, base, faults, unfixable=True)
+        faults = sample_faults(rng)
+        latent = None
+        if invention.fate in ("mismatched", "unthorough"):
+            latent = invention.fate
+        return Implementation(invention, base, faults, latent_defect=latent)
+
+    def _base_info(self, rng: random.Random, invention: Invention) -> MutatorInfo:
+        if invention.registry_name is not None:
+            return self.registry.get(invention.registry_name)
+        # Decoys borrow the behaviour of a structurally similar registry
+        # mutator (their rendered source differs only in the header).
+        candidates = [
+            info
+            for info in self.registry
+            if info.structure == invention.structure
+        ] or list(self.registry)
+        return candidates[rng.randrange(len(candidates))]
+
+    # ------------------------------------------------------------- stage 3
+
+    def fix(
+        self, rng: random.Random, impl: Implementation, goal: int
+    ) -> Implementation:
+        """Repair the fault behind the reported goal violation.
+
+        Mirrors the paper's observations: ordinary faults are fixed (often
+        one per round), while hang-class bugs defeat the model (§4.1: "LLMs
+        fall short in providing correct fixes for complex bugs, such as
+        those causing Mutator Hangs").
+        """
+        if impl.unfixable:
+            # The model reshuffles the code without resolving the root cause.
+            return replace(impl, revision=impl.revision + 1)
+        remaining = list(impl.faults)
+        for i, fault in enumerate(remaining):
+            if fault.kind.value == goal:
+                # Occasionally the first repair attempt misses (the loop
+                # re-reports the same goal next round).
+                if rng.random() < 0.12:
+                    break
+                del remaining[i]
+                break
+        else:
+            if remaining:
+                remaining.pop(0)
+        return replace(
+            impl, faults=remaining, revision=impl.revision + 1
+        )
+
+    # ----------------------------------------------------------- test gen
+
+    def generate_tests(self, rng: random.Random, invention: Invention) -> list[str]:
+        from repro.metamut.testgen import tests_for
+
+        return tests_for(invention.structure, invention.description)

@@ -1,0 +1,24 @@
+"""MetaMut: the paper's core contribution.
+
+Three stages (Figure 1): mutator invention, implementation synthesis, and
+validation & refinement — plus the prompts, the mutator template (Figure 2),
+and the LLM-generated unit tests they rely on.
+"""
+
+from repro.metamut.actions import ACTIONS, PROGRAM_STRUCTURES
+from repro.metamut.pipeline import (
+    GenerationRecord,
+    MetaMut,
+    UnsupervisedCampaign,
+)
+from repro.metamut.validation import ValidationReport, validate_implementation
+
+__all__ = [
+    "ACTIONS",
+    "PROGRAM_STRUCTURES",
+    "GenerationRecord",
+    "MetaMut",
+    "UnsupervisedCampaign",
+    "ValidationReport",
+    "validate_implementation",
+]

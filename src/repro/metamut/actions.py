@@ -1,0 +1,28 @@
+"""The [Action] and [Program Structure] lists of §3.1.
+
+The action list is derived from the member functions of the Clang AST/IR
+APIs; the program-structure list covers the Clang AST node kinds.  Both are
+embedded verbatim in the invention prompt.
+"""
+
+ACTIONS = (
+    "Add", "Modify", "Copy", "Swap", "Inline", "Destruct", "Group",
+    "Combine", "Lift", "Switch", "Inverse", "Create",
+)
+
+PROGRAM_STRUCTURES = (
+    "BinaryOperator", "UnaryOperator", "LogicalExpr", "ComparisonExpr",
+    "BitwiseExpr", "ShiftExpr", "ArithmeticExpr", "AssignmentExpr",
+    "CompoundAssignOperator", "ConditionalOperator", "CommaExpr",
+    "IntegerLiteral", "FloatLiteral", "CharLiteral", "StringLiteral",
+    "CastExpr", "PointerExpr", "ArraySubscriptExpr", "CallExpr",
+    "CallArgument", "CallStmt", "SizeofExpr", "DeclRefExpr", "InitExpr",
+    "Expr", "IfStmt", "ElseBranch", "WhileStmt", "DoStmt", "ForStmt",
+    "SwitchStmt", "CaseStmt", "BreakStmt", "ContinueStmt", "ReturnStmt",
+    "GotoStmt", "LabelStmt", "NullStmt", "CompoundStmt", "Stmt",
+    "VarDecl", "ParmVarDecl", "FieldDecl", "FunctionDecl", "FunctionName",
+    "FunctionReturnType", "ReturnType", "ReturnTypeWidth", "RecordType",
+    "EnumDecl", "TypedefDecl", "BuiltinType", "TypeSpecifier",
+    "ArrayDimension", "Attribute", "Builtins", "StorageClass",
+    "InlineSpecifier",
+)

@@ -1,0 +1,27 @@
+"""Stage 1: mutator invention (§3.1)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.llm.client import LLMClient
+from repro.llm.costs import MutatorCost
+from repro.llm.model import Invention
+from repro.metamut.prompts import invention_prompt
+
+
+def invent_mutator(
+    client: LLMClient,
+    rng: random.Random,
+    previously_generated: set[str],
+    cost: MutatorCost,
+    origin: str = "unsupervised",
+) -> Invention:
+    """One invention round: prompt → (name, description)."""
+    prompt = invention_prompt(sorted(previously_generated))
+    assert prompt  # rendered for logs; the simulated model reads the
+    # hints structurally rather than re-parsing natural language
+    invention, usage = client.invent(rng, previously_generated, origin)
+    cost.invention.add(usage.tokens, usage.wait_seconds, rounds=1)
+    cost.wait_seconds.append(usage.wait_seconds)
+    return invention

@@ -1,0 +1,114 @@
+"""Prompt builders for every MetaMut stage (§3.1-§3.3).
+
+The prompts are faithful to the paper's structure: task description with the
+action/program-structure lists, creativity hints, sampling hints (previously
+generated mutators), the μAST header + template + in-context example for
+synthesis, test generation, and goal-specific bug-fix feedback.
+"""
+
+from __future__ import annotations
+
+from repro.metamut.actions import ACTIONS, PROGRAM_STRUCTURES
+from repro.metamut.template import render_template
+
+MUAST_HEADER_SUMMARY = """\
+class Mutator:
+    # ---- Query APIs ----
+    def get_source_text(self, node): ...        # extract a node's source
+    def find_str_loc_from(self, loc, target): ...
+    def find_braces_range(self, from_loc): ...
+    def rand_element(self, elements): ...       # choose a random element
+    # ---- Rewriting APIs ----
+    def replace_text(self, range, text): ...
+    def remove_parm_from_func_decl(self, fn, parm): ...
+    def remove_arg_from_expr(self, call, index): ...
+    # ---- Semantic checking APIs ----
+    def check_binop(self, op, lhs, rhs): ...
+    def check_assignment(self, lhs_ty, rhs_ty): ...
+    # ---- Helpers ----
+    def generate_unique_name(self, base_name): ...
+    def format_as_decl(self, ty, placeholder): ...
+"""
+
+IN_CONTEXT_EXAMPLE = '''\
+# Example: a complete mutator following the template.
+@register_mutator(
+    "SwapBinaryOperands",
+    "This mutator selects a BinaryOperator and swaps its left and right "
+    "operands, preserving type validity.",
+    category="Expression", origin="supervised",
+    action="Swap", structure="BinaryOperator",
+)
+class SwapBinaryOperands(Mutator, ASTVisitor):
+    def mutate(self) -> bool:
+        candidates = [
+            b for b in self.collect(ast.BinaryOperator)
+            if self.check_binop(b.op, b.rhs, b.lhs)
+        ]
+        if not candidates:
+            return False
+        b = self.rand_element(candidates)
+        lhs, rhs = self.get_source_text(b.lhs), self.get_source_text(b.rhs)
+        return self.replace_text(b.lhs.range, rhs) and \\
+            self.replace_text(b.rhs.range, lhs)
+'''
+
+
+def invention_prompt(previous: list[str]) -> str:
+    """Stage 1: invent a new mutator name + description."""
+    avoid = "\n".join(f"  - {name}" for name in sorted(previous)) or "  (none)"
+    return (
+        "Give me the name and a brief description of a semantic-aware "
+        "mutation operator that performs [Action] on [Program Structure], "
+        "where both the action and the program structure are selected from "
+        "the lists below.\n\n"
+        f"Actions: {', '.join(ACTIONS)}\n"
+        f"Program Structures: {', '.join(PROGRAM_STRUCTURES)}\n\n"
+        "You may also explore actions and program structures that are "
+        "related to, but not limited to, those listed.\n\n"  # creativity hint
+        "Avoid duplicating any of the previously generated mutators:\n"
+        f"{avoid}\n"  # sampling hint
+    )
+
+
+def synthesis_prompt(name: str, description: str) -> str:
+    """Stage 2: one-shot template-based implementation synthesis."""
+    return (
+        f"Implement the mutator {name!r}: {description}\n\n"
+        "Complete the following template step by step. The Mutator base "
+        "class provides these APIs:\n\n"
+        f"{MUAST_HEADER_SUMMARY}\n"
+        f"Template:\n{render_template()}\n"
+        f"{IN_CONTEXT_EXAMPLE}"
+    )
+
+
+def testgen_prompt(name: str, description: str) -> str:
+    """Stage 3 setup: LLM-generated unit tests for the mutator."""
+    return (
+        f"Generate test cases for which the mutator {name!r} "
+        f"({description}) can be applied. Each test case must be a "
+        "compilable and executable C program that contains the program "
+        "structure the mutator targets."
+    )
+
+
+#: Feedback templates, one per validation goal of §3.3.
+FEEDBACK_TEMPLATES = {
+    1: "The mutator does not compile:\n{detail}",
+    2: "The mutator hangs when applied to test case #{case}:\n{detail}",
+    3: "The mutator crashes when applied to test case #{case}:\n{detail}",
+    4: "The mutator outputs nothing for test case #{case} although the "
+       "targeted program structure is present.",
+    5: "The mutator reports success but does not rewrite test case #{case}.",
+    6: "The mutant produced from test case #{case} does not compile:\n"
+       "{detail}",
+}
+
+
+def bugfix_prompt(goal: int, case: int, detail: str) -> str:
+    feedback = FEEDBACK_TEMPLATES[goal].format(case=case, detail=detail)
+    return (
+        f"{feedback}\n\nPlease fix the mutator implementation and reply "
+        "with the complete corrected code."
+    )

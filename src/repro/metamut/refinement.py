@@ -1,0 +1,69 @@
+"""The validation-and-refinement loop (§3.3).
+
+Repeatedly validates the tentative implementation and feeds the unmet,
+simplest goal back to the LLM for a fix.  The automatic procedure terminates
+after 27 repair attempts (§5.1's configuration); what it fixed is recorded
+per goal category (Table 1).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.llm.client import LLMClient
+from repro.llm.costs import MutatorCost, sample_prepare_seconds
+from repro.llm.model import Implementation
+from repro.metamut.prompts import bugfix_prompt
+from repro.metamut.validation import ValidationReport, validate_implementation
+
+MAX_REPAIR_ATTEMPTS = 27
+
+
+@dataclass
+class RefinementOutcome:
+    implementation: Implementation
+    passed: bool
+    rounds: int
+    #: Goal-category → count of bugs the loop fixed (Table 1 rows).
+    fixed: Counter = field(default_factory=Counter)
+    last_report: ValidationReport | None = None
+
+
+def refine(
+    client: LLMClient,
+    impl: Implementation,
+    tests: list[str],
+    rng: random.Random,
+    cost: MutatorCost,
+    max_attempts: int = MAX_REPAIR_ATTEMPTS,
+) -> RefinementOutcome:
+    """Drive the loop until the mutator validates or the budget runs out."""
+    outcome = RefinementOutcome(impl, False, 0)
+    for _attempt in range(max_attempts):
+        # Preparing a request = compiling the mutator, running it on the
+        # tests, and collecting feedback (Table 3's "Prepare" time).
+        prepare = sample_prepare_seconds(rng)
+        report = validate_implementation(outcome.implementation, tests, rng)
+        outcome.last_report = report
+        outcome.rounds += 1
+        cost.prepare_seconds.append(prepare)
+        if report.passed:
+            # One confirmation round is still an LLM round (the validated
+            # implementation is acknowledged) — matching Table 2's minimum
+            # of one bug-fixing QA round.
+            cost.bugfix.add(0, prepare, rounds=1)
+            outcome.passed = True
+            return outcome
+        assert report.goal is not None
+        prompt = bugfix_prompt(report.goal, report.case, report.detail)
+        assert prompt  # rendered for fidelity; consumed structurally
+        before = list(outcome.implementation.faults)
+        fixed_impl, usage = client.fix(rng, outcome.implementation, report.goal)
+        cost.bugfix.add(usage.tokens, usage.wait_seconds + prepare, rounds=1)
+        cost.wait_seconds.append(usage.wait_seconds)
+        if len(fixed_impl.faults) < len(before):
+            outcome.fixed[report.goal] += 1
+        outcome.implementation = fixed_impl
+    return outcome

@@ -1,0 +1,40 @@
+"""Stage 2: template-based implementation synthesis (§3.2)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.llm.client import LLMClient
+from repro.llm.costs import MutatorCost
+from repro.llm.model import Implementation, Invention
+from repro.metamut.prompts import synthesis_prompt, testgen_prompt
+
+
+def synthesize_implementation(
+    client: LLMClient,
+    rng: random.Random,
+    invention: Invention,
+    cost: MutatorCost,
+) -> Implementation:
+    """One-shot chain-of-thought completion of the Figure 2 template."""
+    prompt = synthesis_prompt(invention.name, invention.description)
+    assert prompt  # rendered for fidelity; consumed structurally
+    impl, usage = client.synthesize(rng, invention)
+    cost.implementation.add(usage.tokens, usage.wait_seconds, rounds=1)
+    cost.wait_seconds.append(usage.wait_seconds)
+    return impl
+
+
+def generate_unit_tests(
+    client: LLMClient,
+    rng: random.Random,
+    invention: Invention,
+    cost: MutatorCost,
+) -> list[str]:
+    """LLM-generated test programs that contain the targeted structure."""
+    prompt = testgen_prompt(invention.name, invention.description)
+    assert prompt  # rendered for fidelity; consumed structurally
+    tests, usage = client.generate_tests(rng, invention)
+    cost.bugfix.add(usage.tokens, usage.wait_seconds, rounds=0)
+    cost.wait_seconds.append(usage.wait_seconds)
+    return tests

@@ -1,0 +1,60 @@
+"""The mutator code template of Figure 2, rendered for the Python μAST.
+
+The LLM fills the ``{{...}}`` placeholders and the numbered steps.  The
+rendered source of a synthesized implementation is what the generation logs
+store; behaviourally the implementation is executed through the fault model
+(:mod:`repro.llm.faults`).
+"""
+
+from __future__ import annotations
+
+import inspect
+import textwrap
+
+TEMPLATE = '''\
+from repro.muast import ASTVisitor, Mutator, register_mutator
+{{Includes}}
+
+
+@register_mutator(
+    "{{MutatorName}}",
+    "{{MutatorDescription}}",
+    category="{{Category}}", origin="unsupervised",
+    action="{{Action}}", structure="{{Structure}}",
+)
+class {{MutatorName}}(Mutator, ASTVisitor):
+    def visit_{{NodeType}}(self, node):
+        # Step 2, Collect mutation instances
+        ...
+
+    def mutate(self) -> bool:
+        # Step 1, Traverse the AST
+        # Step 3, Select a mutation instance
+        # Step 4, Check mutation validity
+        # Step 5, Perform mutation
+        # Step 6, Return true if changed
+        ...
+'''
+
+
+def render_template() -> str:
+    """The unfilled template included in the synthesis prompt."""
+    return TEMPLATE
+
+
+def render_implementation(cls: type, markers: list[str]) -> str:
+    """The "LLM output": the implementation source plus fault markers.
+
+    The final, validated implementation of every mutator ships in
+    :mod:`repro.mutators` — its source *is* the synthesized artifact.  A
+    tentative draft is rendered as that source annotated with the bug markers
+    of its injected faults, mirroring how the paper's logs show buggy drafts
+    before the refinement loop repairs them.
+    """
+    try:
+        source = textwrap.dedent(inspect.getsource(cls))
+    except (OSError, TypeError):  # pragma: no cover - sources always exist
+        source = f"class {cls.__name__}(Mutator, ASTVisitor): ..."
+    if not markers:
+        return source
+    return "\n".join(markers) + "\n" + source

@@ -1,0 +1,229 @@
+"""LLM-generated unit tests for mutator validation (§3.3).
+
+The paper prompts the LLM for compilable, executable C programs that contain
+the program structure a mutator targets, and finds that "LLMs are capable of
+generating compilable code snippets that include the specified program
+structure".  The simulated model draws from the snippet library below; every
+program parses, passes sema, and runs to completion on the IR interpreter.
+"""
+
+from __future__ import annotations
+
+_BASE = """
+int acc = 5;
+int helper(int a, int b) {
+  if (a > b && b != 0) { return a - b; } else { a = b - a; }
+  return a + acc;
+}
+int main(void) {
+  int i, total = 0;
+  for (i = 0; i < 8; i++) total += helper(i, acc);
+  while (total > 40) { total -= 9; }
+  printf("%d\\n", total);
+  return 0;
+}
+"""
+
+#: A deliberately feature-dense program: ternaries, unary chains, sizeof,
+#: float literals, bitwise/shift operators, canonical compound-assignment
+#: patterns, pointer dereferences, qualified locals, associative chains.
+_RICH = """
+int knob = 12;
+int main(void) {
+  int a = 3;
+  int b = 7;
+  int c = 10;
+  const int limit = 64;
+  volatile int probe = 2;
+  double scale = 2.5;
+  int *p = &a;
+  a = a + 1;
+  b += 1;
+  ++c;
+  c = (a + b) + knob;
+  c = a + b + knob;
+  a = b * 8;
+  b = a * b + a * c;
+  a = a * (b + c);
+  c = b & 5;
+  a = b | 9;
+  b = c ^ 3;
+  a = b << 2;
+  c = b >> 1;
+  b = -a;
+  c = !b;
+  a = ~c;
+  b = a > c ? a - c : c - a;
+  c = (int)sizeof(long) + (int)sizeof a;
+  *p = *p + (int)scale;
+  if (a < limit) { a += probe; } else { a -= probe; }
+  printf("%d %d %d\\n", a, b, c);
+  return 0;
+}
+"""
+
+#: Function-shape coverage: a void function, an unused parameter, a
+#: zero-argument accessor over globals, a global-only block.
+_FUNCS = """
+int counter = 3;
+int floor_value = 2;
+int get_floor(void) {
+  return floor_value + 1;
+}
+void bump(int step, int unused_extra) {
+  counter += step;
+  return;
+}
+int clamp(int v) {
+  {
+    counter ^= 5;
+    floor_value += 2;
+  }
+  if (v < get_floor()) return get_floor();
+  return v;
+}
+int main(void) {
+  bump(2, 9);
+  bump(3, 8);
+  printf("%d\\n", clamp(counter));
+  return 0;
+}
+"""
+
+#: Global-shape coverage: bare scalar globals, a constant-indexed array, a
+#: complex variable, and one *unused* struct object (no member accesses), so
+#: that aggregate-rewriting mutators always find a safe instance.
+_GLOBALS = """
+int free_scalar;
+unsigned long wide_scalar;
+double ratio_scalar;
+_Complex double cval;
+int grid[6];
+struct opaque_rec { int a; int b; };
+struct opaque_rec opaque_box;
+int main(void) {
+  free_scalar = 4;
+  wide_scalar = 10;
+  ratio_scalar = 1.5;
+  __real cval = ratio_scalar;
+  grid[0] = free_scalar;
+  grid[1] = grid[0] + 2;
+  grid[2] = grid[1] * 3;
+  printf("%d %d\\n", grid[2], free_scalar);
+  return 0;
+}
+"""
+
+_SWITCH = """
+int pick(int v) {
+  switch (v & 3) {
+    case 0: return 7;
+    case 1: v += 2; break;
+    case 2: return v * 3;
+    default: return -v;
+  }
+  return v;
+}
+int main(void) {
+  int i, out = 0;
+  for (i = 0; i < 6; i++) out += pick(i);
+  printf("%d\\n", out);
+  return 0;
+}
+"""
+
+_ARRAYS = """
+int grid[8];
+long fold(int *p, int n) {
+  long s = 0;
+  int i;
+  for (i = 0; i < n; i++) s += p[i] * 2;
+  return s;
+}
+int main(void) {
+  int i;
+  for (i = 0; i < 8; i++) grid[i] = i * i;
+  grid[3] = grid[2] + grid[1];
+  printf("%ld\\n", fold(grid, 8));
+  return 0;
+}
+"""
+
+_STRINGS = """
+static char buf[24];
+int main(void) {
+  int n = sprintf(buf, "%s", "hello");
+  memset(buf + n, 'x', 3);
+  printf("%s %d\\n", buf, n);
+  return 0;
+}
+"""
+
+_ENUMS = """
+typedef long word;
+enum mode { SLOW, FAST = 4 };
+word mix(word w) {
+  double d = 1.5;
+  return w * (word)d + FAST;
+}
+int main(void) {
+  printf("%d\\n", (int)mix(6));
+  return 0;
+}
+"""
+
+_GOTO = """
+int walk(int n) {
+  int steps = 0;
+top:
+  if (n <= 1) goto done;
+  n = (n & 1) ? n * 3 + 1 : n / 2;
+  steps++;
+  if (steps < 40) goto top;
+done:
+  return steps;
+}
+int main(void) {
+  printf("%d\\n", walk(27));
+  return 0;
+}
+"""
+
+#: The always-included core set — rich enough that every library mutator
+#: finds at least one applicable instance.
+_CORE = (_BASE, _RICH, _FUNCS, _GLOBALS)
+
+#: Keyword → extra snippet routing over structure/description text.
+_LIBRARY = [
+    ("switch", _SWITCH),
+    ("case", _SWITCH),
+    ("break", _SWITCH),
+    ("continue", _SWITCH),
+    ("array", _ARRAYS),
+    ("subscript", _ARRAYS),
+    ("string", _STRINGS),
+    ("char", _STRINGS),
+    ("enum", _ENUMS),
+    ("typedef", _ENUMS),
+    ("goto", _GOTO),
+    ("label", _GOTO),
+]
+
+
+def tests_for(structure: str, description: str = "") -> list[str]:
+    """Return the LLM's unit-test programs for a mutator."""
+    needle = (structure + " " + description).lower()
+    programs = [s.strip() + "\n" for s in _CORE]
+    for key, snippet in _LIBRARY:
+        if key in needle:
+            text = snippet.strip() + "\n"
+            if text not in programs:
+                programs.append(text)
+            break
+    return programs
+
+
+def all_snippets() -> list[str]:
+    """Every distinct test program (for the test suite's own validation)."""
+    out = [_BASE, _RICH, _FUNCS, _GLOBALS, _SWITCH, _ARRAYS, _STRINGS, _ENUMS, _GOTO]
+    return [s.strip() + "\n" for s in out]

@@ -1,0 +1,36 @@
+"""μAST: the simplified AST API layer mutators are written against.
+
+The paper encapsulates Clang AST APIs into a small set of readable query,
+rewriting, semantic-checking, and helper APIs (Figure 6) so that an LLM can
+synthesize mutators.  This package is the Python port of that API surface:
+:class:`Mutator` is the parent class of every synthesized mutator, and
+:class:`ASTVisitor` provides ``visit_<NodeKind>`` traversal callbacks.
+"""
+
+from repro.muast.visitor import ASTVisitor
+from repro.muast.mutator import (
+    ASTContext,
+    MutatorCrash,
+    MutatorHang,
+    Mutator,
+    apply_mutator,
+)
+from repro.muast.registry import (
+    MutatorInfo,
+    MutatorRegistry,
+    global_registry,
+    register_mutator,
+)
+
+__all__ = [
+    "ASTVisitor",
+    "ASTContext",
+    "Mutator",
+    "MutatorCrash",
+    "MutatorHang",
+    "apply_mutator",
+    "MutatorInfo",
+    "MutatorRegistry",
+    "global_registry",
+    "register_mutator",
+]

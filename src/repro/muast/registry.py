@@ -1,0 +1,123 @@
+"""Mutator registration (the ``RegisterMutator<T>`` analog).
+
+Every mutator in :mod:`repro.mutators` registers itself with the global
+registry together with its metadata: natural-language description, target
+category, origin (supervised M_s / unsupervised M_u), and whether the paper
+would classify it as "creative" (outside the strict
+"[Action] on [Program Structure]" template).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.muast.mutator import Mutator
+
+#: The five categories of §4.1.
+CATEGORIES = ("Variable", "Expression", "Statement", "Function", "Type")
+
+#: Origins: supervised (M_s) or unsupervised (M_u).
+ORIGINS = ("supervised", "unsupervised")
+
+
+@dataclass(frozen=True)
+class MutatorInfo:
+    name: str
+    description: str
+    cls: type[Mutator]
+    category: str
+    origin: str
+    creative: bool = False
+    #: Action / program-structure pair the invention stage would sample.
+    action: str = ""
+    structure: str = ""
+
+    def create(self, rng: random.Random | None = None) -> Mutator:
+        m = self.cls(rng)
+        m.name = self.name
+        m.description = self.description
+        return m
+
+
+class MutatorRegistry:
+    """A name → :class:`MutatorInfo` map with category/origin queries."""
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, MutatorInfo] = {}
+
+    def register(self, info: MutatorInfo) -> None:
+        if info.name in self._by_name:
+            raise ValueError(f"duplicate mutator name {info.name!r}")
+        if info.category not in CATEGORIES:
+            raise ValueError(f"unknown category {info.category!r}")
+        if info.origin not in ORIGINS:
+            raise ValueError(f"unknown origin {info.origin!r}")
+        self._by_name[info.name] = info
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __iter__(self) -> Iterator[MutatorInfo]:
+        return iter(self._by_name.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def get(self, name: str) -> MutatorInfo:
+        return self._by_name[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._by_name)
+
+    def by_origin(self, origin: str) -> list[MutatorInfo]:
+        return [m for m in self._by_name.values() if m.origin == origin]
+
+    def by_category(self, category: str) -> list[MutatorInfo]:
+        return [m for m in self._by_name.values() if m.category == category]
+
+    def supervised(self) -> list[MutatorInfo]:
+        return self.by_origin("supervised")
+
+    def unsupervised(self) -> list[MutatorInfo]:
+        return self.by_origin("unsupervised")
+
+    def create(self, name: str, rng: random.Random | None = None) -> Mutator:
+        return self.get(name).create(rng)
+
+
+#: The process-wide registry that ``register_mutator`` feeds.
+global_registry = MutatorRegistry()
+
+
+def register_mutator(
+    name: str,
+    description: str,
+    *,
+    category: str,
+    origin: str,
+    creative: bool = False,
+    action: str = "",
+    structure: str = "",
+    registry: MutatorRegistry | None = None,
+) -> Callable[[type[Mutator]], type[Mutator]]:
+    """Class decorator: register a mutator with its metadata."""
+
+    def decorator(cls: type[Mutator]) -> type[Mutator]:
+        info = MutatorInfo(
+            name=name,
+            description=description,
+            cls=cls,
+            category=category,
+            origin=origin,
+            creative=creative,
+            action=action,
+            structure=structure,
+        )
+        (registry or global_registry).register(info)
+        cls.name = name
+        cls.description = description
+        return cls
+
+    return decorator

@@ -1,0 +1,30 @@
+"""AST traversal with per-node-kind callbacks (the ASTVisitor of Figure 2).
+
+A mutator subclasses :class:`ASTVisitor` and defines ``visit_IfStmt``,
+``visit_BinaryOperator``, ... methods to collect mutation instances during
+``traverse``.  Returning ``False`` from a callback stops descending into that
+node's children, mirroring Clang's ``RecursiveASTVisitor`` contract.
+"""
+
+from __future__ import annotations
+
+from repro.cast import ast_nodes as ast
+
+
+class ASTVisitor:
+    """Pre-order AST traversal dispatching to ``visit_<Kind>`` methods."""
+
+    def traverse(self, node: ast.Node) -> None:
+        """Visit ``node`` and (unless vetoed) its descendants."""
+        method = getattr(self, f"visit_{node.kind}", None)
+        descend = True
+        if method is not None:
+            result = method(node)
+            descend = result is not False
+        generic = getattr(self, "visit_node", None)
+        if generic is not None:
+            result = generic(node)
+            descend = descend and result is not False
+        if descend:
+            for child in node.children():
+                self.traverse(child)

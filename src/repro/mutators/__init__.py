@@ -1,0 +1,21 @@
+"""The library of 118 MetaMut-generated mutators.
+
+These are the *validated outputs* of the MetaMut pipeline — the analog of the
+paper's public mutator repository.  68 are tagged ``supervised`` (M_s) and 50
+``unsupervised`` (M_u); each carries the natural-language description the
+invention stage produced and the action/program-structure pair it was sampled
+from.  Importing this package populates
+:data:`repro.muast.registry.global_registry`.
+"""
+
+from repro.muast.registry import global_registry
+
+# Importing the category modules registers every mutator.
+from repro.mutators import variable  # noqa: F401
+from repro.mutators import expression  # noqa: F401
+from repro.mutators import statement  # noqa: F401
+from repro.mutators import function  # noqa: F401
+from repro.mutators import type_  # noqa: F401
+from repro.mutators.catalog import catalog_summary, verify_catalog
+
+__all__ = ["global_registry", "catalog_summary", "verify_catalog"]

@@ -1,0 +1,65 @@
+"""Catalog queries over the generated-mutator library (§4.1 statistics)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.muast.registry import CATEGORIES, MutatorRegistry, global_registry
+
+
+@dataclass
+class CatalogSummary:
+    total: int
+    supervised: int
+    unsupervised: int
+    by_category: dict[str, int]
+    creative: int
+    overlap_pairs: list[tuple[str, str]]
+
+
+def overlap_pairs(registry: MutatorRegistry | None = None) -> list[tuple[str, str]]:
+    """Cross-origin mutator pairs performing similar actions on similar
+    program structures (the paper found ~6 such pairs, ~10%)."""
+    registry = registry or global_registry
+    supervised = {}
+    for info in registry.supervised():
+        supervised.setdefault((info.action, info.structure), []).append(info.name)
+    pairs = []
+    for info in registry.unsupervised():
+        for s_name in supervised.get((info.action, info.structure), []):
+            pairs.append((s_name, info.name))
+    return sorted(pairs)
+
+
+def catalog_summary(registry: MutatorRegistry | None = None) -> CatalogSummary:
+    registry = registry or global_registry
+    by_category = Counter(info.category for info in registry)
+    return CatalogSummary(
+        total=len(registry),
+        supervised=len(registry.supervised()),
+        unsupervised=len(registry.unsupervised()),
+        by_category={c: by_category.get(c, 0) for c in CATEGORIES},
+        creative=sum(1 for info in registry if info.creative),
+        overlap_pairs=overlap_pairs(registry),
+    )
+
+
+def verify_catalog(registry: MutatorRegistry | None = None) -> None:
+    """Assert the §4.1 shape of the library: 118 = 68 M_s + 50 M_u, split
+    16/50/27/19/6 across Variable/Expression/Statement/Function/Type."""
+    s = catalog_summary(registry)
+    expected = {
+        "Variable": 16,
+        "Expression": 50,
+        "Statement": 27,
+        "Function": 19,
+        "Type": 6,
+    }
+    if s.total != 118 or s.supervised != 68 or s.unsupervised != 50:
+        raise AssertionError(
+            f"catalog size mismatch: total={s.total} "
+            f"supervised={s.supervised} unsupervised={s.unsupervised}"
+        )
+    if s.by_category != expected:
+        raise AssertionError(f"category mismatch: {s.by_category}")

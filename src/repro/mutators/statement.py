@@ -1,0 +1,788 @@
+"""Statement mutators (27).
+
+Includes the paper's examples ``DuplicateBranch`` (M_s) and
+``TransformSwitchToIfElse`` (M_u, one of the "creative" mutators).
+"""
+
+from __future__ import annotations
+
+from repro.cast import ast_nodes as ast
+from repro.cast.sema import fold_int
+from repro.cast.source import SourceRange
+from repro.muast import ASTVisitor, Mutator, register_mutator
+from repro.mutators.common import (
+    contains_label_or_case,
+    is_removable_stmt,
+    loose_breaks,
+    parent_map,
+    safe_to_copy,
+)
+
+
+def _compound_stmts(m: Mutator) -> list[ast.CompoundStmt]:
+    return [
+        c
+        for c in m.collect(ast.CompoundStmt)
+        if isinstance(c, ast.CompoundStmt)
+    ]
+
+
+def _loops(m: Mutator) -> list[ast.Stmt]:
+    return [
+        n
+        for n in m.get_ast_context().unit.walk()
+        if isinstance(n, (ast.WhileStmt, ast.DoStmt, ast.ForStmt))
+    ]
+
+
+def _stmts_in_blocks(m: Mutator) -> list[tuple[ast.CompoundStmt, int, ast.Stmt]]:
+    out = []
+    for block in _compound_stmts(m):
+        for i, stmt in enumerate(block.stmts):
+            out.append((block, i, stmt))
+    return out
+
+
+@register_mutator(
+    "DuplicateBranch",
+    "This mutator finds an IfStmt, duplicates one of its branches (then or "
+    "else), and replaces the other branch with the duplicated one.",
+    category="Statement", origin="supervised",
+    action="Copy", structure="IfStmt",
+)
+class DuplicateBranch(Mutator, ASTVisitor):
+    def __init__(self, rng=None) -> None:
+        super().__init__(rng)
+        self.the_ifs: list[ast.IfStmt] = []
+
+    def visit_IfStmt(self, node: ast.IfStmt) -> None:
+        if node.else_branch is not None and safe_to_copy(node.then_branch) and (
+            safe_to_copy(node.else_branch)
+        ):
+            self.the_ifs.append(node)
+
+    def mutate(self) -> bool:
+        self.traverse_ast()
+        if not self.the_ifs:
+            return False
+        node = self.rand_element(self.the_ifs)
+        assert node.else_branch is not None
+        if self.rand_bool():
+            src, dst = node.then_branch, node.else_branch
+        else:
+            src, dst = node.else_branch, node.then_branch
+        return self.replace_text(dst.range, self.get_source_text(src))
+
+
+@register_mutator(
+    "DeleteStatement",
+    "This mutator deletes a randomly selected statement that declares "
+    "nothing and defines no labels.",
+    category="Statement", origin="supervised",
+    action="Destruct", structure="Stmt",
+)
+class DeleteStatement(Mutator, ASTVisitor):
+    def mutate(self) -> bool:
+        candidates = [
+            (block, stmt)
+            for block, _i, stmt in _stmts_in_blocks(self)
+            if is_removable_stmt(stmt)
+        ]
+        if not candidates:
+            return False
+        _block, stmt = self.rand_element(candidates)
+        return self.remove_text(stmt.range)
+
+
+@register_mutator(
+    "SwapAdjacentStatements",
+    "This mutator swaps two adjacent statements inside a compound "
+    "statement.",
+    category="Statement", origin="supervised",
+    action="Swap", structure="CompoundStmt",
+)
+class SwapAdjacentStatements(Mutator, ASTVisitor):
+    def mutate(self) -> bool:
+        instances = []
+        for block in _compound_stmts(self):
+            for i in range(len(block.stmts) - 1):
+                a, b = block.stmts[i], block.stmts[i + 1]
+                if is_removable_stmt(a) and is_removable_stmt(b):
+                    instances.append((a, b))
+        if not instances:
+            return False
+        a, b = self.rand_element(instances)
+        a_txt, b_txt = self.get_source_text(a), self.get_source_text(b)
+        return self.replace_text(a.range, b_txt) and self.replace_text(
+            b.range, a_txt
+        )
+
+
+@register_mutator(
+    "WrapStmtInIf",
+    "This mutator wraps a statement in an always-true if statement.",
+    category="Statement", origin="supervised",
+    action="Add", structure="IfStmt",
+)
+class WrapStmtInIf(Mutator, ASTVisitor):
+    def mutate(self) -> bool:
+        candidates = [
+            stmt
+            for _b, _i, stmt in _stmts_in_blocks(self)
+            if is_removable_stmt(stmt)
+        ]
+        if not candidates:
+            return False
+        stmt = self.rand_element(candidates)
+        text = self.get_source_text(stmt)
+        return self.replace_text(stmt.range, f"if (1) {{ {text} }}")
+
+
+@register_mutator(
+    "UnrollLoopOnce",
+    "This mutator peels one iteration off a while loop by inserting a "
+    "guarded copy of its body before the loop.",
+    category="Statement", origin="supervised", creative=True,
+    action="Copy", structure="WhileStmt",
+)
+class UnrollLoopOnce(Mutator, ASTVisitor):
+    def mutate(self) -> bool:
+        candidates = [
+            w
+            for w in self.collect(ast.WhileStmt)
+            if isinstance(w, ast.WhileStmt)
+            and safe_to_copy(w.body)
+            and not loose_breaks(w.body)
+        ]
+        if not candidates:
+            return False
+        w = self.rand_element(candidates)
+        cond = self.get_source_text(w.cond)
+        body = self.get_source_text(w.body)
+        return self.insert_text_before(
+            w.range.begin, f"if ({cond}) {{ {body} }}\n"
+        )
+
+
+@register_mutator(
+    "ForToWhile",
+    "This mutator converts a for loop into an equivalent while loop inside "
+    "a new block.",
+    category="Statement", origin="supervised", creative=True,
+    action="Switch", structure="ForStmt",
+)
+class ForToWhile(Mutator, ASTVisitor):
+    def mutate(self) -> bool:
+        candidates = [
+            f
+            for f in self.collect(ast.ForStmt)
+            if isinstance(f, ast.ForStmt) and not contains_label_or_case(f.body)
+        ]
+        if not candidates:
+            return False
+        f = self.rand_element(candidates)
+        init = self.get_source_text(f.init) if f.init is not None else ""
+        cond = self.get_source_text(f.cond) if f.cond is not None else "1"
+        inc = self.get_source_text(f.inc) + ";" if f.inc is not None else ""
+        body = self.get_source_text(f.body)
+        if not isinstance(f.body, ast.CompoundStmt):
+            body = f"{{ {body} }}"
+        new_body = body[:-1].rstrip() + f"\n{inc} }}" if inc else body
+        return self.replace_text(
+            f.range, f"{{ {init} while ({cond}) {new_body} }}"
+        )
+
+
+@register_mutator(
+    "WhileToDoWhile",
+    "This mutator converts a while loop into a do-while loop guarded by the "
+    "original condition.",
+    category="Statement", origin="supervised", creative=True,
+    action="Switch", structure="WhileStmt",
+)
+class WhileToDoWhile(Mutator, ASTVisitor):
+    def mutate(self) -> bool:
+        candidates = self.collect(ast.WhileStmt)
+        if not candidates:
+            return False
+        w = self.rand_element(candidates)
+        assert isinstance(w, ast.WhileStmt)
+        cond = self.get_source_text(w.cond)
+        body = self.get_source_text(w.body)
+        return self.replace_text(
+            w.range, f"if ({cond}) {{ do {{ {body} }} while ({cond}); }}"
+        )
+
+
+@register_mutator(
+    "RemoveElseBranch",
+    "This mutator removes the else branch of an IfStmt.",
+    category="Statement", origin="supervised",
+    action="Destruct", structure="IfStmt",
+)
+class RemoveElseBranch(Mutator, ASTVisitor):
+    def mutate(self) -> bool:
+        candidates = [
+            s
+            for s in self.collect(ast.IfStmt)
+            if isinstance(s, ast.IfStmt)
+            and s.else_branch is not None
+            and not contains_label_or_case(s.else_branch)
+        ]
+        if not candidates:
+            return False
+        s = self.rand_element(candidates)
+        assert s.else_branch is not None
+        else_kw = self.find_str_loc_from(s.then_branch.range.end, "else")
+        if else_kw is None:
+            return False
+        return self.remove_text(SourceRange(else_kw, s.else_branch.range.end))
+
+
+@register_mutator(
+    "AddElseBranch",
+    "This mutator adds an empty else branch to an IfStmt that lacks one.",
+    category="Statement", origin="supervised",
+    action="Add", structure="ElseBranch",
+)
+class AddElseBranch(Mutator, ASTVisitor):
+    def mutate(self) -> bool:
+        candidates = [
+            s
+            for s in self.collect(ast.IfStmt)
+            if isinstance(s, ast.IfStmt) and s.else_branch is None
+        ]
+        if not candidates:
+            return False
+        s = self.rand_element(candidates)
+        return self.insert_text_after(s.then_branch.range.end, " else { ; }")
+
+
+@register_mutator(
+    "InsertContinueIntoLoop",
+    "This mutator inserts a never-taken continue statement at the top of a "
+    "loop body.",
+    category="Statement", origin="supervised",
+    action="Add", structure="ContinueStmt",
+)
+class InsertContinueIntoLoop(Mutator, ASTVisitor):
+    def mutate(self) -> bool:
+        candidates = [
+            loop
+            for loop in _loops(self)
+            if isinstance(getattr(loop, "body"), ast.CompoundStmt)
+        ]
+        if not candidates:
+            return False
+        loop = self.rand_element(candidates)
+        body = loop.body  # type: ignore[attr-defined]
+        assert body.lbrace_loc is not None
+        return self.insert_text_after(
+            body.lbrace_loc.advanced(1), " if (0) continue; "
+        )
+
+
+@register_mutator(
+    "LoopConditionOffByOne",
+    "This mutator perturbs a loop bound comparison by one, e.g. turning "
+    "i < n into i <= n.",
+    category="Statement", origin="supervised",
+    action="Modify", structure="ComparisonExpr",
+)
+class LoopConditionOffByOne(Mutator, ASTVisitor):
+    _FLIP = {"<": "<=", "<=": "<", ">": ">=", ">=": ">"}
+
+    def mutate(self) -> bool:
+        instances = []
+        for loop in _loops(self):
+            cond = getattr(loop, "cond", None)
+            if isinstance(cond, ast.BinaryOperator) and cond.op in self._FLIP:
+                instances.append(cond)
+        if not instances:
+            return False
+        cond = self.rand_element(instances)
+        assert cond.op_range is not None
+        return self.replace_text(cond.op_range, self._FLIP[cond.op])
+
+
+@register_mutator(
+    "InsertGotoSkip",
+    "This mutator inserts a goto that jumps over a statement to a fresh "
+    "label placed right after it.",
+    category="Statement", origin="supervised", creative=True,
+    action="Add", structure="GotoStmt",
+)
+class InsertGotoSkip(Mutator, ASTVisitor):
+    def mutate(self) -> bool:
+        candidates = [
+            stmt
+            for _b, _i, stmt in _stmts_in_blocks(self)
+            if not isinstance(stmt, (ast.CaseStmt, ast.DefaultStmt, ast.LabelStmt))
+        ]
+        if not candidates:
+            return False
+        stmt = self.rand_element(candidates)
+        label = self.generate_unique_name("skip")
+        ok = self.insert_text_before(stmt.range.begin, f"goto {label};\n")
+        return self.insert_text_after(stmt.range.end, f"\n{label}: ;") and ok
+
+
+@register_mutator(
+    "InsertDeadIf",
+    "This mutator inserts a never-executed copy of an existing statement "
+    "guarded by if (0).",
+    category="Statement", origin="supervised",
+    action="Copy", structure="IfStmt",
+)
+class InsertDeadIf(Mutator, ASTVisitor):
+    def mutate(self) -> bool:
+        candidates = [
+            stmt
+            for _b, _i, stmt in _stmts_in_blocks(self)
+            if is_removable_stmt(stmt)
+        ]
+        if not candidates:
+            return False
+        stmt = self.rand_element(candidates)
+        text = self.get_source_text(stmt)
+        return self.insert_after_stmt(stmt, f"if (0) {{ {text} }}")
+
+
+@register_mutator(
+    "RemoveBreakFromSwitch",
+    "This mutator deletes a break statement directly inside a switch body, "
+    "creating a fall-through.",
+    category="Statement", origin="supervised",
+    action="Destruct", structure="SwitchStmt",
+)
+class RemoveBreakFromSwitch(Mutator, ASTVisitor):
+    def mutate(self) -> bool:
+        instances = []
+        for sw in self.collect(ast.SwitchStmt):
+            assert isinstance(sw, ast.SwitchStmt)
+            if isinstance(sw.body, ast.CompoundStmt):
+                for stmt in sw.body.stmts:
+                    if isinstance(stmt, ast.BreakStmt):
+                        instances.append(stmt)
+        if not instances:
+            return False
+        stmt = self.rand_element(instances)
+        return self.remove_text(stmt.range)
+
+
+@register_mutator(
+    "SwapThenElse",
+    "This mutator negates an if condition and swaps the then and else "
+    "branches, preserving behaviour.",
+    category="Statement", origin="supervised",
+    action="Swap", structure="IfStmt",
+)
+class SwapThenElse(Mutator, ASTVisitor):
+    def mutate(self) -> bool:
+        candidates = [
+            s
+            for s in self.collect(ast.IfStmt)
+            if isinstance(s, ast.IfStmt)
+            and s.else_branch is not None
+            # An else-if chain shares text with the outer if; keep it simple.
+            and not isinstance(s.else_branch, ast.IfStmt)
+            and not contains_label_or_case(s.then_branch)
+            and not contains_label_or_case(s.else_branch)
+        ]
+        if not candidates:
+            return False
+        s = self.rand_element(candidates)
+        assert s.else_branch is not None
+        cond = self.get_source_text(s.cond)
+        then_txt = self.get_source_text(s.then_branch)
+        else_txt = self.get_source_text(s.else_branch)
+        ok = self.replace_text(s.cond.range, f"!({cond})")
+        ok = self.replace_text(s.then_branch.range, else_txt) and ok
+        return self.replace_text(s.else_branch.range, then_txt) and ok
+
+
+@register_mutator(
+    "GroupStatements",
+    "This mutator groups a contiguous run of statements into a nested "
+    "compound statement.",
+    category="Statement", origin="supervised",
+    action="Group", structure="CompoundStmt",
+)
+class GroupStatements(Mutator, ASTVisitor):
+    def mutate(self) -> bool:
+        instances = []
+        for block in _compound_stmts(self):
+            n = len(block.stmts)
+            for i in range(n):
+                for j in range(i + 1, min(n, i + 4)):
+                    run = block.stmts[i : j + 1]
+                    if any(isinstance(s, ast.DeclStmt) for s in run):
+                        continue
+                    if any(
+                        isinstance(s, (ast.CaseStmt, ast.DefaultStmt)) for s in run
+                    ):
+                        continue
+                    instances.append((run[0], run[-1]))
+        if not instances:
+            return False
+        first, last = self.rand_element(instances)
+        ok = self.insert_text_before(first.range.begin, "{ ")
+        return self.insert_text_after(last.range.end, " }") and ok
+
+
+# ---------------------------------------------------------------------------
+# Unsupervised (M_u) statement mutators
+# ---------------------------------------------------------------------------
+
+
+@register_mutator(
+    "DuplicateStatement",
+    "This mutator duplicates a statement, inserting the copy immediately "
+    "after the original.",
+    category="Statement", origin="unsupervised",
+    action="Copy", structure="Stmt",
+)
+class DuplicateStatement(Mutator, ASTVisitor):
+    def mutate(self) -> bool:
+        candidates = [
+            stmt
+            for _b, _i, stmt in _stmts_in_blocks(self)
+            if is_removable_stmt(stmt)
+        ]
+        if not candidates:
+            return False
+        stmt = self.rand_element(candidates)
+        return self.insert_after_stmt(stmt, self.get_source_text(stmt))
+
+
+@register_mutator(
+    "WrapStmtInDoWhile",
+    "This mutator wraps a statement in a do { ... } while (0) loop.",
+    category="Statement", origin="unsupervised",
+    action="Add", structure="DoStmt",
+)
+class WrapStmtInDoWhile(Mutator, ASTVisitor):
+    def mutate(self) -> bool:
+        candidates = [
+            stmt
+            for _b, _i, stmt in _stmts_in_blocks(self)
+            if is_removable_stmt(stmt)
+        ]
+        if not candidates:
+            return False
+        stmt = self.rand_element(candidates)
+        text = self.get_source_text(stmt)
+        return self.replace_text(stmt.range, f"do {{ {text} }} while (0);")
+
+
+@register_mutator(
+    "WhileToFor",
+    "This mutator converts a while loop into an equivalent for loop with "
+    "empty init and increment clauses.",
+    category="Statement", origin="unsupervised", creative=True,
+    action="Switch", structure="WhileStmt",
+)
+class WhileToFor(Mutator, ASTVisitor):
+    def mutate(self) -> bool:
+        candidates = self.collect(ast.WhileStmt)
+        if not candidates:
+            return False
+        w = self.rand_element(candidates)
+        assert isinstance(w, ast.WhileStmt)
+        cond = self.get_source_text(w.cond)
+        body = self.get_source_text(w.body)
+        return self.replace_text(w.range, f"for (; {cond}; ) {body}")
+
+
+@register_mutator(
+    "TransformSwitchToIfElse",
+    "This mutator identifies a 'switch' statement in the code and "
+    "transforms it into an equivalent series of 'if-else' statements, "
+    "effectively altering the control flow structure.",
+    category="Statement", origin="unsupervised", creative=True,
+    action="Switch", structure="SwitchStmt",
+)
+class TransformSwitchToIfElse(Mutator, ASTVisitor):
+    def mutate(self) -> bool:
+        candidates = []
+        for sw in self.collect(ast.SwitchStmt):
+            assert isinstance(sw, ast.SwitchStmt)
+            segments = self._segments(sw)
+            if segments is not None:
+                candidates.append((sw, segments))
+        if not candidates:
+            return False
+        sw, segments = self.rand_element(candidates)
+        cond = self.get_source_text(sw.cond)
+        chain: list[str] = []
+        default_body: str | None = None
+        for labels, body in segments:
+            if labels is None:
+                default_body = body
+                continue
+            test = " || ".join(f"({cond}) == ({v})" for v in labels)
+            keyword = "if" if not chain else "else if"
+            chain.append(f"{keyword} ({test}) {{ {body} }}")
+        text = " ".join(chain)
+        if default_body is not None:
+            text += f" else {{ {default_body} }}" if chain else f"{{ {default_body} }}"
+        if not text:
+            text = ";"
+        return self.replace_text(sw.range, text)
+
+    def _segments(
+        self, sw: ast.SwitchStmt
+    ) -> list[tuple[list[str] | None, str]] | None:
+        """Split the switch body into (case labels, body text) segments."""
+        if not isinstance(sw.body, ast.CompoundStmt):
+            return None
+        segments: list[tuple[list[str] | None, str]] = []
+        labels: list[str] | None = None
+        is_default = False
+        parts: list[str] = []
+
+        def flush() -> None:
+            nonlocal labels, is_default, parts
+            if labels is not None or is_default:
+                segments.append((None if is_default else labels, " ".join(parts)))
+            labels, is_default, parts = None, False, []
+
+        for stmt in sw.body.stmts:
+            inner: ast.Stmt | None = stmt
+            new_labels: list[str] = []
+            new_default = False
+            while isinstance(inner, (ast.CaseStmt, ast.DefaultStmt)):
+                if isinstance(inner, ast.CaseStmt):
+                    if fold_int(inner.expr) is None:
+                        return None
+                    new_labels.append(self.get_source_text(inner.expr))
+                else:
+                    new_default = True
+                inner = inner.stmt
+            if new_labels or new_default:
+                flush()
+                labels = new_labels if not new_default else None
+                is_default = new_default
+                if is_default and new_labels:
+                    return None  # mixed case/default chains are rare; skip
+            elif labels is None and not is_default:
+                return None  # statement before the first case label
+            if inner is None:
+                continue
+            if isinstance(inner, ast.BreakStmt):
+                continue  # segment terminator
+            if contains_label_or_case(inner):
+                return None
+            if loose_breaks(inner, continues=False):
+                return None  # a nested break bound to this switch
+            parts.append(self.get_source_text(inner))
+        flush()
+        return segments
+
+
+@register_mutator(
+    "InsertNullStmt",
+    "This mutator inserts a null statement (a lone semicolon) after an "
+    "existing statement.",
+    category="Statement", origin="unsupervised",
+    action="Add", structure="NullStmt",
+)
+class InsertNullStmt(Mutator, ASTVisitor):
+    def mutate(self) -> bool:
+        candidates = [stmt for _b, _i, stmt in _stmts_in_blocks(self)]
+        if not candidates:
+            return False
+        stmt = self.rand_element(candidates)
+        return self.insert_after_stmt(stmt, ";")
+
+
+@register_mutator(
+    "GuardWithTautology",
+    "This mutator guards a statement with a tautological if condition such "
+    "as (1 == 1).",
+    category="Statement", origin="unsupervised",
+    action="Add", structure="IfStmt",
+)
+class GuardWithTautology(Mutator, ASTVisitor):
+    def mutate(self) -> bool:
+        candidates = [
+            stmt
+            for _b, _i, stmt in _stmts_in_blocks(self)
+            if is_removable_stmt(stmt)
+        ]
+        if not candidates:
+            return False
+        stmt = self.rand_element(candidates)
+        text = self.get_source_text(stmt)
+        cond = self.rand_element(["1 == 1", "0 == 0", "1 <= 1"])
+        return self.replace_text(stmt.range, f"if ({cond}) {{ {text} }}")
+
+
+@register_mutator(
+    "InsertBreakIntoLoop",
+    "This mutator inserts a never-taken break statement at the top of a "
+    "loop body.",
+    category="Statement", origin="unsupervised",
+    action="Add", structure="BreakStmt",
+)
+class InsertBreakIntoLoop(Mutator, ASTVisitor):
+    def mutate(self) -> bool:
+        candidates = [
+            loop
+            for loop in _loops(self)
+            if isinstance(getattr(loop, "body"), ast.CompoundStmt)
+        ]
+        if not candidates:
+            return False
+        loop = self.rand_element(candidates)
+        body = loop.body  # type: ignore[attr-defined]
+        assert body.lbrace_loc is not None
+        return self.insert_text_after(
+            body.lbrace_loc.advanced(1), " if (0) break; "
+        )
+
+
+@register_mutator(
+    "ReverseLoopDirection",
+    "This mutator reverses the direction of a canonical counting for loop, "
+    "turning an upward count into a downward one.",
+    category="Statement", origin="unsupervised", creative=True,
+    action="Inverse", structure="ForStmt",
+)
+class ReverseLoopDirection(Mutator, ASTVisitor):
+    def mutate(self) -> bool:
+        instances = []
+        for f in self.collect(ast.ForStmt):
+            assert isinstance(f, ast.ForStmt)
+            match = self._match_canonical(f)
+            if match is not None:
+                instances.append((f, match))
+        if not instances:
+            return False
+        f, (zero_expr, cond, inc, bound_txt) = self.rand_element(instances)
+        ok = self.replace_text(zero_expr.range, f"({bound_txt}) - 1")
+        assert cond.op_range is not None
+        ok = self.replace_text(cond.op_range, ">=") and ok
+        ok = self.replace_text(cond.rhs.range, "0") and ok
+        op_rng = SourceRange(
+            inc.range.begin.advanced(len(self.get_source_text(inc.operand))),
+            inc.range.end,
+        )
+        return self.replace_text(op_rng, "--") and ok
+
+    def _match_canonical(self, f: ast.ForStmt):
+        # init: i = 0 (expression or single declaration)
+        zero_expr: ast.Expr | None = None
+        var_name: str | None = None
+        if isinstance(f.init, ast.ExprStmt):
+            e = f.init.expr
+            if (
+                isinstance(e, ast.BinaryOperator)
+                and e.op == "="
+                and isinstance(e.lhs, ast.DeclRefExpr)
+                and isinstance(e.rhs, ast.IntegerLiteral)
+                and e.rhs.value == 0
+                and e.lhs.type is not None
+                and e.lhs.type.is_signed()
+            ):
+                zero_expr, var_name = e.rhs, e.lhs.name
+        elif isinstance(f.init, ast.DeclStmt) and len(f.init.decls) == 1:
+            d = f.init.decls[0]
+            if (
+                isinstance(d, ast.VarDecl)
+                and isinstance(d.init, ast.IntegerLiteral)
+                and d.init.value == 0
+                and d.type.is_signed()
+            ):
+                zero_expr, var_name = d.init, d.name
+        if zero_expr is None or var_name is None:
+            return None
+        cond = f.cond
+        if not (
+            isinstance(cond, ast.BinaryOperator)
+            and cond.op in ("<", "<=")
+            and isinstance(cond.lhs, ast.DeclRefExpr)
+            and cond.lhs.name == var_name
+        ):
+            return None
+        inc = f.inc
+        if not (
+            isinstance(inc, ast.UnaryOperator)
+            and inc.op == "++"
+            and not inc.prefix
+            and isinstance(inc.operand, ast.DeclRefExpr)
+            and inc.operand.name == var_name
+        ):
+            return None
+        bound_txt = self.get_source_text(cond.rhs)
+        return zero_expr, cond, inc, bound_txt
+
+
+@register_mutator(
+    "InsertLabelNoop",
+    "This mutator inserts a fresh, unused label bound to a null statement.",
+    category="Statement", origin="unsupervised",
+    action="Add", structure="LabelStmt",
+)
+class InsertLabelNoop(Mutator, ASTVisitor):
+    def mutate(self) -> bool:
+        candidates = [stmt for _b, _i, stmt in _stmts_in_blocks(self)]
+        if not candidates:
+            return False
+        stmt = self.rand_element(candidates)
+        label = self.generate_unique_name("lbl")
+        return self.insert_after_stmt(stmt, f"{label}: ;")
+
+
+@register_mutator(
+    "CompoundToSingleStmt",
+    "This mutator unwraps a compound statement containing exactly one "
+    "simple statement.",
+    category="Statement", origin="unsupervised",
+    action="Destruct", structure="CompoundStmt",
+)
+class CompoundToSingleStmt(Mutator, ASTVisitor):
+    def mutate(self) -> bool:
+        parents = parent_map(self.get_ast_context().unit)
+        candidates = []
+        for block in _compound_stmts(self):
+            if len(block.stmts) != 1:
+                continue
+            inner = block.stmts[0]
+            if isinstance(
+                inner, (ast.DeclStmt, ast.LabelStmt, ast.CaseStmt, ast.DefaultStmt)
+            ):
+                continue
+            parent = parents.get(id(block))
+            if isinstance(parent, ast.FunctionDecl):
+                continue
+            candidates.append((block, inner))
+        if not candidates:
+            return False
+        block, inner = self.rand_element(candidates)
+        return self.replace_text(block.range, self.get_source_text(inner))
+
+
+@register_mutator(
+    "NestCompound",
+    "This mutator nests the contents of a compound statement inside an "
+    "additional pair of braces.",
+    category="Statement", origin="unsupervised",
+    action="Add", structure="CompoundStmt",
+)
+class NestCompound(Mutator, ASTVisitor):
+    def mutate(self) -> bool:
+        candidates = [
+            b
+            for b in _compound_stmts(self)
+            if b.stmts and b.lbrace_loc is not None and b.rbrace_loc is not None
+            and not any(
+                isinstance(s, (ast.CaseStmt, ast.DefaultStmt)) for s in b.stmts
+            )
+        ]
+        if not candidates:
+            return False
+        b = self.rand_element(candidates)
+        assert b.lbrace_loc is not None and b.rbrace_loc is not None
+        ok = self.insert_text_after(b.lbrace_loc.advanced(1), " { ")
+        return self.insert_text_before(b.rbrace_loc, " } ") and ok

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.mutators  # noqa: F401 - populate the registry
+from repro.compiler import CLANG_SIM, GCC_SIM, Compiler
+from repro.fuzzing.seedgen import generate_seeds
+from repro.muast.registry import global_registry
+
+
+@pytest.fixture(scope="session")
+def registry():
+    return global_registry
+
+
+@pytest.fixture(scope="session")
+def gcc():
+    return Compiler(*GCC_SIM)
+
+
+@pytest.fixture(scope="session")
+def clang():
+    return Compiler(*CLANG_SIM)
+
+
+@pytest.fixture(scope="session")
+def compilers(gcc, clang):
+    return [gcc, clang]
+
+
+@pytest.fixture(scope="session")
+def small_seeds():
+    return generate_seeds(40)
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(12345)

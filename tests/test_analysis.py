@@ -1,0 +1,92 @@
+"""Analysis package: Venn computations, summary stats, bug reports."""
+
+import pytest
+
+from repro.analysis.reports import BugReport, BugTracker
+from repro.analysis.stats import format_table, summarize
+from repro.analysis.venn import (
+    exclusive_counts, exclusive_to_group, union_size, venn_counts,
+)
+
+
+class TestVenn:
+    SETS = {
+        "A": {1, 2, 3, 4},
+        "B": {3, 4, 5},
+        "C": {9},
+    }
+
+    def test_region_counts(self):
+        regions = venn_counts(self.SETS)
+        assert regions[frozenset({"A"})] == 2  # {1, 2}
+        assert regions[frozenset({"A", "B"})] == 2  # {3, 4}
+        assert regions[frozenset({"C"})] == 1
+        assert frozenset({"B", "C"}) not in regions
+
+    def test_exclusive_counts(self):
+        assert exclusive_counts(self.SETS) == {"A": 2, "B": 1, "C": 1}
+
+    def test_union(self):
+        assert union_size(self.SETS) == 6
+
+    def test_group_exclusivity(self):
+        assert exclusive_to_group(self.SETS, ["A", "B"]) == 5
+
+    def test_region_counts_sum_to_union(self):
+        regions = venn_counts(self.SETS)
+        assert sum(regions.values()) == union_size(self.SETS)
+
+
+class TestStats:
+    def test_summarize(self):
+        s = summarize([4, 1, 3, 2])
+        assert s == {"min": 1.0, "max": 4.0, "median": 2.5, "mean": 2.5}
+
+    def test_summarize_empty(self):
+        assert summarize([])["mean"] == 0.0
+
+    def test_format_table(self):
+        text = format_table([("a", 1), ("bb", 22)], ("name", "n"))
+        assert "name" in text and "bb" in text
+
+
+class TestBugTracker:
+    def _bug(self, i, compiler="gcc-sim-14", module="optimization", kind="assert"):
+        return BugReport(f"bug-{i}", compiler, module, kind, f"desc {i}")
+
+    def test_deduplication(self):
+        tracker = BugTracker()
+        assert tracker.report(self._bug(1))
+        assert not tracker.report(self._bug(1))
+        assert len(tracker.reports) == 1
+
+    def test_table6_structure(self):
+        tracker = BugTracker()
+        for i in range(10):
+            tracker.report(self._bug(i))
+            tracker.report(self._bug(i, compiler="clang-sim-18", module="front-end"))
+        table = tracker.table6()
+        assert table["GCC"]["Reported"] == 10
+        assert table["Clang"]["Front-End"] == 10
+        assert table["Total"]["Reported"] == 20
+
+    def test_triage_proportions_are_plausible(self):
+        tracker = BugTracker()
+        for i in range(200):
+            tracker.report(self._bug(i))
+        table = tracker.table6()
+        confirmed = table["Total"]["Confirmed"]
+        assert confirmed / 200 > 0.9  # paper: 129/131
+        assert 0.1 < table["Total"]["Fixed"] / 200 < 0.45
+        assert table["Total"]["Duplicate"] / 200 < 0.25
+
+    def test_triage_is_deterministic(self):
+        a = self._bug(7)
+        b = self._bug(7)
+        assert a.confirmed == b.confirmed and a.fixed == b.fixed
+
+    def test_render_contains_rows(self):
+        tracker = BugTracker()
+        tracker.report(self._bug(1, kind="hang"))
+        text = tracker.render()
+        assert "Reported" in text and "Hang" in text

@@ -1,0 +1,105 @@
+"""Back-end tests: ISel output, register allocation, feature reporting."""
+
+from repro.cast.parser import parse
+from repro.cast.sema import Sema
+from repro.compiler.coverage import CoverageMap
+from repro.compiler.backend import NUM_REGS, lower_to_asm, _allocate
+from repro.compiler.irgen import IRGen
+from repro.compiler.passes import OptContext
+
+
+def compile_to_asm(text, opt=0):
+    unit = parse(text)
+    sema = Sema()
+    assert not [d for d in sema.analyze(unit) if d.severity == "error"]
+    module = IRGen(sema, CoverageMap()).lower(unit)
+    ctx = OptContext(cov=CoverageMap(), opt_level=opt)
+    return lower_to_asm(module, ctx)
+
+
+class TestEmission:
+    def test_globals_get_data_directives(self):
+        result = compile_to_asm("int g; char buf[16]; int main(void){return 0;}")
+        assert ".data g: .space 4" in result.asm
+        assert ".data buf: .space 16" in result.asm
+
+    def test_functions_get_text_labels(self):
+        result = compile_to_asm("int f(void){return 1;} int main(void){return f();}")
+        assert ".text f:" in result.asm and ".text main:" in result.asm
+
+    def test_calls_rendered(self):
+        result = compile_to_asm("int main(void){ printf(\"x\"); return 0; }")
+        assert "call printf(" in result.asm
+
+    def test_branches_reference_blocks(self):
+        result = compile_to_asm(
+            "int main(void){ int x = 1; if (x) x = 2; return x; }"
+        )
+        assert "cbnz" in result.asm
+
+    def test_stats_counted(self):
+        result = compile_to_asm(
+            "int main(void){ int i, s = 0; for (i = 0; i < 9; i++) s += i; "
+            "return s; }"
+        )
+        assert result.stats["be_blocks"] >= 4
+        assert result.stats["be_instrs"] > 10
+
+
+class TestRegisterAllocation:
+    def test_few_temps_fit_in_registers(self):
+        intervals = {i: (i, i + 1) for i in range(4)}
+        assignment, spills, pressure = _allocate(intervals)
+        assert spills == 0
+        assert pressure <= NUM_REGS
+        assert all(reg.startswith("r") for reg in assignment.values())
+
+    def test_overlapping_temps_spill(self):
+        # NUM_REGS + 4 temps all live at once.
+        intervals = {i: (0, 100) for i in range(NUM_REGS + 4)}
+        assignment, spills, pressure = _allocate(intervals)
+        assert spills == 4
+        assert pressure > NUM_REGS
+        assert sum(1 for r in assignment.values() if r.startswith("[sp")) == 4
+
+    def test_expired_intervals_free_registers(self):
+        # Sequential non-overlapping intervals reuse the same register.
+        intervals = {i: (i * 10, i * 10 + 5) for i in range(NUM_REGS * 2)}
+        _assignment, spills, _pressure = _allocate(intervals)
+        assert spills == 0
+
+
+class TestRet2VShapeReporting:
+    def test_void_fn_with_empty_labels_flagged(self):
+        text = (
+            "void f(int x) {\n"
+            "  if (x) goto a;\n"
+            "  if (x > 1) goto b;\n"
+            "  ;\n"
+            "a: ;\n"
+            "b: ;\n"
+            "}\n"
+            "int main(void){ f(2); return 0; }"
+        )
+        unit = parse(text)
+        sema = Sema()
+        sema.analyze(unit)
+        irgen = IRGen(sema, CoverageMap())
+        irgen.lower(unit)
+        assert irgen.stats.get("ret2v_shape") == 1
+
+    def test_nonvoid_fn_not_flagged(self):
+        text = (
+            "int f(int x) {\n"
+            "  if (x) goto a;\n"
+            "a: ;\n"
+            "  return x;\n"
+            "}\n"
+            "int main(void){ return f(2); }"
+        )
+        unit = parse(text)
+        sema = Sema()
+        sema.analyze(unit)
+        irgen = IRGen(sema, CoverageMap())
+        irgen.lower(unit)
+        assert irgen.stats.get("ret2v_shape") == 0

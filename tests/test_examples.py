@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_quickstart():
+    result = run_example("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "MetaMut generated a mutator" in result.stdout
+    assert "Compile result" in result.stdout
+
+
+def test_fuzzing_campaign_small():
+    result = run_example("fuzzing_campaign.py", "15")
+    assert result.returncode == 0, result.stderr
+    for name in ("uCFuzz.s", "uCFuzz.u", "AFL++", "GrayC", "Csmith", "YARPGen"):
+        assert name in result.stdout
+
+
+def test_bug_hunting_small():
+    result = run_example("bug_hunting.py", "25")
+    assert result.returncode == 0, result.stderr
+    assert "Table 6-style report" in result.stdout
+    assert "Reported" in result.stdout
+
+
+def test_mutator_gallery_filtered():
+    result = run_example("mutator_gallery.py", "DuplicateBranch")
+    assert result.returncode == 0, result.stderr
+    assert "DuplicateBranch" in result.stdout
+    assert "1/1 mutators demonstrated" in result.stdout
+
+
+def test_differential_testing_small():
+    result = run_example("differential_testing.py", "5")
+    assert result.returncode == 0, result.stderr
+    assert "0 behavioural disagreements" in result.stdout

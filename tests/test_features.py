@@ -1,0 +1,91 @@
+"""Feature extraction: lexical statistics and mutation fingerprints."""
+
+import pytest
+
+from repro.cast.parser import parse
+from repro.compiler.features import ast_features, lexical_features
+
+
+def feats(text):
+    from repro.cast.sema import Sema
+
+    unit = parse(text)
+    Sema().analyze(unit)
+    return ast_features(unit, text)
+
+
+class TestLexicalFeatures:
+    def test_token_statistics(self):
+        f = lexical_features("int abcdefghij = 123456;")
+        assert f["max_ident_len"] == 10
+        assert f["max_number_len"] == 6
+
+    def test_paren_depth(self):
+        f = lexical_features("int x = ((((1))));")
+        assert f["max_paren_depth"] == 4
+
+    def test_unbalanced_parens_flag(self):
+        assert lexical_features("int f((((")["unbalanced_parens"] == 1
+
+    def test_garbage_falls_back_to_char_stats(self):
+        f = lexical_features('"unterminated ((( ')
+        assert f["lex_error"] == 1
+        assert f["unterminated_literal"] == 1
+        assert f["max_paren_depth"] == 3
+
+
+FINGERPRINTS = [
+    ("int f(int a) { return -(-a); }", "double_neg"),
+    ("int f(int a) { return !!a; }", "not_not"),
+    ("int f(int a) { return ~~a; }", "bnot_bnot"),
+    ("int f(int a) { return a ^ 0; }", "xor_zero"),
+    ("int f(int a) { return a + 0; }", "add_zero"),
+    ("int f(int a) { return a * 1; }", "mul_one"),
+    ("int f(int a) { return (0, a); }", "comma_zero"),
+    ("void f(int a) { if (0) { a = 1; } }", "if_zero"),
+    ("void f(int a) { if (1) { a = 1; } }", "if_const_true"),
+    ("void f(int a) { while (0) { a = 1; } }", "while_zero"),
+    ("void f(int a) { do { a = 1; } while (0); }", "do_while_zero"),
+    ("void f(void) { l: ; }", "label_noop"),
+    ("int a[4]; int f(int i) { return i[a]; }", "swapped_subscript"),
+    ("int f(long v) { return *(int *)&v; }", "deref_of_cast"),
+    ("int f(long v) { return (int)(char)v; }", "cast_chain"),
+    ("const volatile int g; ", "const_volatile"),
+    ("void f(int a) { a = a; }", "self_assign"),
+    ("void f(int a) { if (a) { a = 1; } else { ; } }", "empty_else"),
+    ("int f(int a) { return a << 40; }", "wide_shift"),
+    ("int f(int a) { return 3 < 5; }", "literal_comparison"),
+    ("_Complex double z; double *f(void) { return &__imag z; }", "addr_of_imag"),
+    ("long g; char *f(void) { return (char *)&g; }", "char_ptr_cast"),
+    ("void f(int a) { a++; a++; }", "adjacent_twins"),
+]
+
+
+@pytest.mark.parametrize("text,feature", FINGERPRINTS)
+def test_fingerprint_detected(text, feature):
+    assert feats(text).get(feature, 0) >= 1, feature
+
+
+class TestCleanPrograms:
+    def test_plain_program_has_no_fingerprints(self):
+        f = feats(
+            "int g = 3;\n"
+            "int add(int a, int b) { return a + b; }\n"
+            "int main(void) { int i, s = 0; "
+            "for (i = 0; i < 4; i++) s = add(s, i); return s; }\n"
+        )
+        for key in ("double_neg", "not_not", "xor_zero", "if_zero",
+                    "label_noop", "self_assign", "adjacent_twins"):
+            assert f.get(key, 0) == 0, key
+
+    def test_loop_nest_depth(self):
+        f = feats(
+            "void f(void) { int i, j, k; "
+            "for (i = 0; i < 2; i++) for (j = 0; j < 2; j++) "
+            "for (k = 0; k < 2; k++) ; }"
+        )
+        assert f["loop_nest_depth"] == 3
+
+    def test_twins_require_identical_text(self):
+        f = feats("void f(int a, int b) { a += 1; b += 2; }")
+        assert f.get("adjacent_twins", 0) == 0

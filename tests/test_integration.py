@@ -1,0 +1,149 @@
+"""End-to-end integration tests across the whole system."""
+
+import random
+
+import pytest
+
+from repro.compiler import Compiler, CLANG_SIM, GCC_SIM
+from repro.compiler.interp import execute
+from repro.fuzzing.campaign import make_fuzzer, run_campaign
+from repro.fuzzing.crash import CrashLog
+from repro.fuzzing.macro import MacroFuzzer
+from repro.fuzzing.seedgen import generate_seeds, template_seeds
+from repro.metamut import MetaMut
+from repro.muast import apply_mutator
+from repro.muast.registry import global_registry
+
+
+class TestMutateCompileExecute:
+    """Seed → mutate → compile → run: the full life of a test program."""
+
+    def test_mutants_of_seeds_compile_and_run(self, gcc, small_seeds):
+        rng = random.Random(77)
+        executed = 0
+        for seed_text in small_seeds[:6]:
+            info = global_registry.get(
+                global_registry.names()[rng.randrange(118)]
+            )
+            outcome = apply_mutator(info.create(rng), seed_text)
+            text = outcome.mutant_text if outcome.changed else seed_text
+            result = gcc.compile(text)
+            if result.ok:
+                run = execute(result.module, fuel=150_000)
+                assert run.status in ("ok", "abort", "trap", "timeout")
+                executed += 1
+        assert executed >= 4
+
+    def test_stacked_mutations_stay_parseable(self, gcc):
+        rng = random.Random(5)
+        text = template_seeds()[0]
+        names = global_registry.names()
+        for _round in range(8):
+            info = global_registry.get(names[rng.randrange(len(names))])
+            try:
+                outcome = apply_mutator(info.create(rng), text)
+            except Exception:
+                continue
+            if outcome.changed and outcome.mutant_text:
+                text = outcome.mutant_text
+        result = gcc.compile(text)
+        assert result.ok or result.diagnostics or result.crashed
+
+
+class TestMetaMutToFuzzer:
+    """The paper's full story: generate mutators, then fuzz with them."""
+
+    def test_generated_valid_set_drives_fuzzing(self, gcc, small_seeds):
+        campaign = MetaMut().run_unsupervised(30, seed=40)
+        valid_infos = [
+            global_registry.get(r.invention.registry_name)
+            for r in campaign.valid
+        ]
+        assert valid_infos
+        from repro.fuzzing.mucfuzz import MuCFuzz
+
+        fuzzer = MuCFuzz(gcc, random.Random(1), small_seeds[:5], valid_infos)
+        for _ in range(8):
+            fuzzer.step()
+        assert len(fuzzer.coverage) > 150
+
+
+class TestMacroCampaignFindsSeededBugs:
+    def test_macro_fuzzer_discovers_bugs_with_flags(self):
+        gcc = Compiler(*GCC_SIM)
+        seeds = template_seeds(2)
+        fuzzer = MacroFuzzer(
+            gcc, random.Random(13), seeds, list(global_registry)
+        )
+        log = CrashLog()
+        for i in range(120):
+            step = fuzzer.step()
+            log.add(step.result, float(i), step.program)
+        assert len(log) >= 1  # the campaign surfaces at least one latent bug
+
+
+class TestEmergentCaseStudyDiscovery:
+    """§5.2's exclusive crash, *discovered* (not crafted): μCFuzz applies
+    ChangeVarDeclQualifier and CopyExpr to the sprintf seed until the
+    verify_range ICE fires — the paper's exact mutation chain."""
+
+    SEED = """
+static char buffer[32];
+int test4(void) { return sprintf(buffer, "%s", "bar"); }
+void main_test(void) {
+  memset(buffer, 'A', 32);
+  if (test4() != 3) abort();
+}
+int main(void) { main_test(); return 0; }
+"""
+
+    def test_mucfuzz_discovers_strlen_bug(self):
+        from repro.fuzzing.mucfuzz import MuCFuzz
+
+        gcc = Compiler(*GCC_SIM)
+        chain = [
+            global_registry.get("ChangeVarDeclQualifier"),
+            global_registry.get("CopyExpr"),
+        ]
+        fuzzer = MuCFuzz(gcc, random.Random(3), [self.SEED], chain)
+        found = set()
+        for _ in range(400):
+            step = fuzzer.step()
+            if step.result.crashed:
+                found.add((step.result.crash or step.result.hang).bug_id)
+                if "gcc-strlen-verify-range" in found:
+                    break
+        assert "gcc-strlen-verify-range" in found
+
+
+class TestCampaignDeterminism:
+    def test_same_seed_same_results(self, registry):
+        gcc = Compiler(*GCC_SIM)
+        seeds = generate_seeds(25)
+
+        def run_once():
+            fuzzer = make_fuzzer(
+                "uCFuzz.u", gcc, seeds, registry, random.Random(99)
+            )
+            return run_campaign(fuzzer, steps=12)
+
+        a, b = run_once(), run_once()
+        assert a.coverage_trend == b.coverage_trend
+        assert len(a.crashes) == len(b.crashes)
+
+
+class TestCompilerAgreement:
+    """The two personalities agree on semantics (no miscompilation bugs are
+    seeded — all seeded bugs are crashes/hangs, like the paper's Table 6)."""
+
+    def test_gcc_and_clang_sim_agree_on_seed_output(self, small_seeds):
+        gcc = Compiler(*GCC_SIM)
+        clang = Compiler(*CLANG_SIM)
+        for seed_text in small_seeds[:5]:
+            rg = gcc.compile(seed_text)
+            rc = clang.compile(seed_text)
+            assert rg.ok and rc.ok
+            assert (
+                execute(rg.module, fuel=200_000).observable
+                == execute(rc.module, fuel=200_000).observable
+            )

@@ -1,0 +1,83 @@
+"""Data layout and IR structure tests."""
+
+import pytest
+
+from repro.cast import types as ct
+from repro.compiler import layout
+from repro.compiler.ir import (
+    BinOp, Block, Br, ImmInt, IRFunction, IRType, Jmp, Ret, Temp,
+)
+
+
+class TestSizes:
+    @pytest.mark.parametrize(
+        "qt,size",
+        [
+            (ct.CHAR, 1), (ct.INT, 4), (ct.LONG, 8), (ct.LONGLONG, 8),
+            (ct.FLOAT, 4), (ct.DOUBLE, 8), (ct.INT_PTR, 8),
+            (ct.COMPLEX_DOUBLE, 16),
+            (ct.array_of(ct.INT, 10), 40),
+            (ct.array_of(ct.array_of(ct.CHAR, 3), 2), 6),
+        ],
+    )
+    def test_size_of(self, qt, size):
+        assert layout.size_of(qt) == size
+
+    def test_struct_layout_with_padding(self):
+        rec = ct.RecordType(
+            "struct", "s", (("c", ct.CHAR), ("x", ct.LONG), ("y", ct.INT))
+        )
+        offsets, size = layout.record_layout(rec)
+        assert offsets == {"c": 0, "x": 8, "y": 16}
+        assert size == 24  # padded to 8-byte alignment
+
+    def test_union_layout(self):
+        rec = ct.RecordType("union", "u", (("i", ct.INT), ("d", ct.DOUBLE)))
+        offsets, size = layout.record_layout(rec)
+        assert offsets == {"i": 0, "d": 0}
+        assert size == 8
+
+    def test_ir_type_mapping(self):
+        assert layout.ir_type_of(ct.INT) is IRType.I32
+        assert layout.ir_type_of(ct.CHAR) is IRType.I8
+        assert layout.ir_type_of(ct.DOUBLE) is IRType.F64
+        assert layout.ir_type_of(ct.INT_PTR) is IRType.PTR
+
+
+class TestIRStructure:
+    def _fn(self):
+        fn = IRFunction("f", [], IRType.I32)
+        entry = Block("entry")
+        exit_ = Block("exit")
+        entry.instrs = [
+            BinOp(Temp(1), "+", ImmInt(1), ImmInt(2), IRType.I32),
+            Br(Temp(1), "exit", "exit"),
+        ]
+        exit_.instrs = [Ret(Temp(1), IRType.I32)]
+        fn.blocks = [entry, exit_]
+        return fn
+
+    def test_successors(self):
+        fn = self._fn()
+        assert fn.blocks[0].successors() == ["exit", "exit"]
+        assert fn.blocks[1].successors() == []
+
+    def test_predecessors(self):
+        fn = self._fn()
+        preds = fn.predecessors()
+        assert preds["exit"] == ["entry", "entry"]
+
+    def test_terminator_detection(self):
+        fn = self._fn()
+        assert isinstance(fn.blocks[0].terminator, Br)
+        block = Block("open", [BinOp(Temp(2), "+", ImmInt(0), ImmInt(0), IRType.I32)])
+        assert block.terminator is None
+
+    def test_replace_operands(self):
+        instr = BinOp(Temp(1), "+", Temp(2), ImmInt(3), IRType.I32)
+        instr.replace_operands({Temp(2): ImmInt(9)})
+        assert instr.lhs == ImmInt(9)
+
+    def test_dump_is_textual(self):
+        text = self._fn().dump()
+        assert "entry:" in text and "ret" in text

@@ -1,0 +1,239 @@
+"""The simulated LLM and the MetaMut pipeline."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.llm import APIError, LLMClient, SimulatedLLM
+from repro.llm.costs import (
+    CostLedger, MutatorCost, sample_implementation_tokens,
+    sample_invention_tokens, sample_wait_seconds,
+)
+from repro.llm.faults import Fault, FaultKind, sample_faults
+from repro.llm.model import Implementation, Invention, _DECOYS
+from repro.metamut import MetaMut, validate_implementation
+from repro.metamut.prompts import bugfix_prompt, invention_prompt, synthesis_prompt
+from repro.metamut.refinement import refine
+from repro.metamut.testgen import all_snippets
+from repro.metamut.testgen import tests_for as programs_for
+from repro.muast.registry import global_registry
+
+
+def make_impl(name="SwapBinaryOperands", faults=(), **kw):
+    info = global_registry.get(name)
+    inv = Invention(
+        info.name, info.description, info.action, info.structure,
+        "valid", registry_name=info.name,
+    )
+    return Implementation(inv, info, list(faults), **kw)
+
+
+class TestCostModels:
+    def test_invention_tokens_within_paper_bounds(self):
+        rng = random.Random(0)
+        values = [sample_invention_tokens(rng) for _ in range(300)]
+        assert min(values) >= 359 and max(values) <= 2240
+        assert 900 < sum(values) / len(values) < 1400
+
+    def test_implementation_tokens_within_bounds(self):
+        rng = random.Random(0)
+        values = [sample_implementation_tokens(rng) for _ in range(300)]
+        assert min(values) >= 372 and max(values) <= 3870
+
+    def test_wait_seconds_bounds(self):
+        rng = random.Random(0)
+        values = [sample_wait_seconds(rng) for _ in range(300)]
+        assert min(values) >= 11 and max(values) <= 123
+
+    def test_ledger_summaries(self):
+        ledger = CostLedger()
+        for i in range(3):
+            cost = MutatorCost(name=f"m{i}")
+            cost.invention.add(1000 + i, 10.0)
+            cost.implementation.add(2000, 20.0)
+            ledger.add(cost)
+        table = ledger.table2()
+        assert table["Tokens"]["Invention"]["median"] == 1001
+        assert table["Tokens"]["Total"]["mean"] == pytest.approx(3001)
+
+
+class TestFaults:
+    def test_half_of_drafts_are_clean(self):
+        rng = random.Random(1)
+        clean = sum(1 for _ in range(500) if not sample_faults(rng))
+        assert 0.35 < clean / 500 < 0.55
+
+    def test_hang_excluded_by_default(self):
+        rng = random.Random(2)
+        for _ in range(200):
+            assert all(
+                f.kind is not FaultKind.HANG for f in sample_faults(rng)
+            )
+
+    def test_fault_markers_render_in_source(self):
+        impl = make_impl(faults=[Fault(FaultKind.BAD_MUTANT)])
+        assert "BUG:" in impl.source
+        assert "class SwapBinaryOperands" in impl.source
+
+
+class TestValidationGoals:
+    def _report(self, impl):
+        return validate_implementation(
+            impl, programs_for("BinaryOperator"), random.Random(3)
+        )
+
+    def test_goal1_not_compile(self):
+        report = self._report(make_impl(faults=[Fault(FaultKind.NOT_COMPILE)]))
+        assert report.goal == 1
+
+    def test_goal2_hang(self):
+        report = self._report(make_impl(faults=[Fault(FaultKind.HANG)]))
+        assert report.goal == 2
+
+    def test_goal3_crash(self):
+        report = self._report(make_impl(faults=[Fault(FaultKind.CRASH)]))
+        assert report.goal == 3
+
+    def test_goal4_no_output(self):
+        report = self._report(make_impl(faults=[Fault(FaultKind.NO_OUTPUT)]))
+        assert report.goal == 4
+
+    def test_goal5_no_rewrite(self):
+        report = self._report(make_impl(faults=[Fault(FaultKind.NO_REWRITE)]))
+        assert report.goal == 5
+
+    def test_goal6_bad_mutant(self):
+        report = self._report(make_impl(faults=[Fault(FaultKind.BAD_MUTANT)]))
+        assert report.goal == 6
+
+    def test_clean_draft_passes(self):
+        assert self._report(make_impl()).passed
+
+    def test_goal_order_simplest_first(self):
+        impl = make_impl(
+            faults=[Fault(FaultKind.BAD_MUTANT), Fault(FaultKind.NOT_COMPILE)]
+        )
+        assert self._report(impl).goal == 1
+
+
+class TestRefinement:
+    def test_loop_fixes_all_faults(self):
+        client = LLMClient(failure_rate=0.0)
+        impl = make_impl(
+            faults=[Fault(FaultKind.NOT_COMPILE), Fault(FaultKind.BAD_MUTANT)]
+        )
+        cost = MutatorCost(name="x")
+        outcome = refine(
+            client, impl, programs_for("BinaryOperator"), random.Random(4), cost
+        )
+        assert outcome.passed
+        assert sum(outcome.fixed.values()) == 2
+        assert cost.bugfix.qa_rounds >= 3
+
+    def test_unfixable_draft_dies(self):
+        client = LLMClient(failure_rate=0.0)
+        impl = make_impl(faults=[Fault(FaultKind.HANG)], unfixable=True)
+        cost = MutatorCost(name="x")
+        outcome = refine(
+            client, impl, programs_for("BinaryOperator"), random.Random(5), cost,
+            max_attempts=6,
+        )
+        assert not outcome.passed
+        assert outcome.last_report is not None and outcome.last_report.goal == 2
+
+
+class TestModel:
+    def test_invention_avoids_previous(self):
+        model = SimulatedLLM()
+        rng = random.Random(6)
+        seen = set()
+        for _ in range(40):
+            inv = model.invent(rng, seen)
+            assert inv.name not in seen
+            seen.add(inv.name)
+
+    def test_decoy_census_shape(self):
+        fates = Counter(fate for *_rest, fate in _DECOYS)
+        assert fates == {
+            "refine-death": 6, "mismatched": 7, "unthorough": 10, "duplicate": 3,
+        }
+
+    def test_api_errors_raised(self):
+        client = LLMClient(failure_rate=1.0)
+        with pytest.raises(APIError):
+            client.invent(random.Random(7), set(), "unsupervised")
+
+
+class TestPrompts:
+    def test_invention_prompt_lists_actions(self):
+        prompt = invention_prompt(["Foo"])
+        assert "[Action]" in prompt and "Swap" in prompt and "Foo" in prompt
+
+    def test_synthesis_prompt_embeds_template(self):
+        prompt = synthesis_prompt("X", "does X")
+        assert "{{MutatorName}}" in prompt and "randElement" in prompt.replace(
+            "rand_element", "randElement"
+        ) or "rand_element" in prompt
+
+    def test_bugfix_prompt_per_goal(self):
+        for goal in range(1, 7):
+            assert "fix" in bugfix_prompt(goal, 0, "detail").lower()
+
+
+class TestTestgen:
+    def test_all_snippets_compile_and_run(self):
+        from repro.cast.parser import parse
+        from repro.cast.sema import Sema
+        from repro.compiler.coverage import CoverageMap
+        from repro.compiler.irgen import IRGen
+        from repro.compiler.interp import execute
+
+        for snippet in all_snippets():
+            unit = parse(snippet)
+            sema = Sema()
+            assert not [
+                d for d in sema.analyze(unit) if d.severity == "error"
+            ], snippet
+            result = execute(IRGen(sema, CoverageMap()).lower(unit))
+            assert result.status == "ok", (snippet, result)
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return MetaMut().run_unsupervised(100, seed=118)
+
+    def test_invocation_count(self, campaign):
+        assert len(campaign.records) == 100
+
+    def test_api_failures_near_paper(self, campaign):
+        assert 10 <= campaign.api_errors <= 40  # paper: 24/100
+
+    def test_validity_rate_near_paper(self, campaign):
+        rate = len(campaign.valid) / campaign.completed
+        assert 0.5 <= rate <= 0.85  # paper: 65.8%
+
+    def test_invalid_census_categories(self, campaign):
+        census = campaign.invalid_census()
+        assert set(census) <= {
+            "refine-death", "mismatched", "unthorough", "duplicate",
+        }
+
+    def test_table1_shape(self, campaign):
+        table = campaign.table1()
+        assert table[2] == 0  # hangs are never auto-fixed
+        assert table[1] >= table[3]  # not-compiling dominates crashes
+        assert table[6] >= table[5]
+
+    def test_valid_mutators_are_registry_members(self, campaign):
+        for record in campaign.valid:
+            assert record.invention.registry_name in global_registry
+
+    def test_deterministic(self):
+        a = MetaMut().run_unsupervised(20, seed=9)
+        b = MetaMut().run_unsupervised(20, seed=9)
+        assert [r.status for r in a.records] == [r.status for r in b.records]
+
+    def test_mean_cost_near_half_dollar(self, campaign):
+        assert 0.2 < campaign.ledger.mean_usd() < 0.9

@@ -1,0 +1,180 @@
+"""μAST API tests: visitor dispatch, Mutator base APIs, apply_mutator."""
+
+import random
+
+import pytest
+
+from repro.cast import ast_nodes as ast
+from repro.cast.parser import parse
+from repro.muast import ASTVisitor, Mutator, apply_mutator
+from repro.muast.mutator import MutatorCrash
+
+PROGRAM = """
+int total = 3;
+int scale(int v, int unused_arg) {
+  if (v > 2) { v = v * total; }
+  return v + 1;
+}
+int main(void) {
+  int x = scale(4, 9);
+  printf("%d\\n", x);
+  return 0;
+}
+"""
+
+
+class CollectingVisitor(ASTVisitor):
+    def __init__(self):
+        self.if_stmts = []
+        self.calls = []
+        self.all_nodes = 0
+
+    def visit_IfStmt(self, node):
+        self.if_stmts.append(node)
+
+    def visit_CallExpr(self, node):
+        self.calls.append(node)
+
+    def visit_node(self, node):
+        self.all_nodes += 1
+
+
+class TestVisitor:
+    def test_kind_dispatch(self):
+        visitor = CollectingVisitor()
+        visitor.traverse(parse(PROGRAM))
+        assert len(visitor.if_stmts) == 1
+        assert len(visitor.calls) == 2  # scale(...) and printf(...)
+        assert visitor.all_nodes > 20
+
+    def test_returning_false_stops_descent(self):
+        class PruningVisitor(ASTVisitor):
+            def __init__(self):
+                self.seen_calls = 0
+
+            def visit_FunctionDecl(self, node):
+                return node.name == "main"  # only descend into main
+
+            def visit_CallExpr(self, node):
+                self.seen_calls += 1
+
+        visitor = PruningVisitor()
+        visitor.traverse(parse(PROGRAM))
+        assert visitor.seen_calls == 2  # scale(4, 9) and printf(...)
+
+
+class _NoopMutator(Mutator, ASTVisitor):
+    def mutate(self):
+        return False
+
+
+class _DeleteFirstIf(Mutator, ASTVisitor):
+    def mutate(self):
+        ifs = self.collect(ast.IfStmt)
+        if not ifs:
+            return False
+        return self.replace_text(ifs[0].range, ";")
+
+
+class TestApplyMutator:
+    def test_unchanged_outcome(self):
+        outcome = apply_mutator(_NoopMutator(), PROGRAM)
+        assert not outcome.changed and outcome.mutant_text is None
+
+    def test_changed_outcome_rewrites(self):
+        outcome = apply_mutator(_DeleteFirstIf(), PROGRAM)
+        assert outcome.changed
+        assert "v = v * total" not in outcome.mutant_text
+
+    def test_invalid_input_not_mutated(self):
+        outcome = apply_mutator(_DeleteFirstIf(), "int x = ;")
+        assert not outcome.changed and outcome.error is not None
+
+    def test_noncompiling_input_not_mutated(self):
+        outcome = apply_mutator(_DeleteFirstIf(), "int f(void) { return y; }")
+        assert outcome.error == "input does not compile"
+
+
+class TestMutatorAPIs:
+    def _bound(self, mutator_cls=_NoopMutator, text=PROGRAM):
+        m = mutator_cls(random.Random(1))
+        apply_mutator(m, text)
+        return m
+
+    def test_get_source_text(self):
+        m = self._bound()
+        fn = m.get_ast_context().unit.functions()[0]
+        assert m.get_source_text(fn).startswith("int scale")
+
+    def test_find_str_loc_from(self):
+        m = self._bound()
+        loc = m.find_str_loc_from(m.get_ast_context().unit.range.begin, "printf")
+        assert loc is not None
+        assert PROGRAM[loc.offset : loc.offset + 6] == "printf"
+
+    def test_find_braces_range(self):
+        m = self._bound()
+        fn = m.get_ast_context().unit.functions()[0]
+        rng = m.find_braces_range(fn.range.begin)
+        assert rng is not None
+        text = m.get_ast_context().source.slice(rng)
+        assert text.startswith("{") and text.endswith("}")
+
+    def test_rand_element_empty_raises_crash(self):
+        m = self._bound()
+        with pytest.raises(MutatorCrash):
+            m.rand_element([])
+
+    def test_generate_unique_name_is_fresh(self):
+        m = self._bound()
+        name = m.generate_unique_name("total")
+        assert name not in PROGRAM
+
+    def test_enclosing_function(self):
+        m = self._bound()
+        ifs = m.collect(ast.IfStmt)
+        fn = m.enclosing_function(ifs[0])
+        assert fn is not None and fn.name == "scale"
+
+    def test_check_binop(self):
+        m = self._bound()
+        binops = [
+            b for b in m.collect(ast.BinaryOperator)
+            if isinstance(b, ast.BinaryOperator) and b.op == "*"
+        ]
+        b = binops[0]
+        assert m.check_binop("+", b.lhs, b.rhs)
+        assert m.check_binop("%", b.lhs, b.rhs)
+
+    def test_remove_parm_from_func_decl(self):
+        class DropParam(Mutator, ASTVisitor):
+            def mutate(self):
+                fn = self.get_ast_context().unit.functions()[0]
+                ok = self.remove_parm_from_func_decl(fn, fn.params[1])
+                from repro.mutators.common import call_sites_of
+
+                for call in call_sites_of(self, fn.name):
+                    ok = self.remove_arg_from_expr(call, 1) and ok
+                return ok
+
+        outcome = apply_mutator(DropParam(), PROGRAM)
+        assert outcome.changed
+        assert "unused_arg" not in outcome.mutant_text
+        assert "scale(4)" in outcome.mutant_text
+        # And the result still compiles.
+        from repro.cast.sema import Sema
+
+        errs = [
+            d
+            for d in Sema().analyze(parse(outcome.mutant_text))
+            if d.severity == "error"
+        ]
+        assert not errs
+
+    def test_default_values(self):
+        from repro.cast import types as ct
+
+        m = self._bound()
+        assert m.default_value_for(ct.INT) == "0"
+        assert m.default_value_for(ct.DOUBLE) == "0.0"
+        assert m.default_value_for(ct.INT_PTR) == "0"

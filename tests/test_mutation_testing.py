@@ -1,0 +1,80 @@
+"""The §6 mutation-testing extension."""
+
+import random
+
+import pytest
+
+import repro.mutators  # noqa: F401
+from repro.analysis.mutation_testing import MutationScore, MutantResult, mutation_score
+from repro.muast.registry import global_registry
+
+PROGRAM = """\
+int twice(int v) { return v * 2; }
+int main(void) {
+  int i, total = 0;
+  for (i = 0; i < 6; i++) total += twice(i) + 1;
+  printf("%d\\n", total);
+  return total & 63;
+}
+"""
+
+
+class TestScoreArithmetic:
+    def test_score_over_killable_only(self):
+        score = MutationScore(
+            [
+                MutantResult("a", "killed"),
+                MutantResult("b", "survived"),
+                MutantResult("c", "invalid"),
+            ]
+        )
+        assert score.killed == 1 and score.survived == 1 and score.invalid == 1
+        assert score.score == pytest.approx(0.5)
+
+    def test_empty_score_is_zero(self):
+        assert MutationScore().score == 0.0
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def score(self):
+        return mutation_score(
+            PROGRAM, mutants_per_mutator=1, rng=random.Random(4)
+        )
+
+    def test_produces_mutants(self, score):
+        assert len(score.results) > 60
+
+    def test_semantic_changers_are_killed(self, score):
+        killed = {r.mutator for r in score.results if r.status == "killed"}
+        # Literal/operator perturbations must be detectable by the oracle.
+        assert killed & {
+            "ModifyIntegerLiteral", "ChangeBinaryOperator",
+            "ReplaceLiteralWithRandomValue", "ChangeComparisonOperator",
+            "DeleteStatement", "ReplaceConditionWithConstant",
+        }
+
+    def test_identity_mutators_survive(self, score):
+        survived = {r.mutator for r in score.results if r.status == "survived"}
+        assert survived & {
+            "WrapWithParens", "AddIdentityOperation", "InsertNullStmt",
+            "XorWithZero",
+        }
+
+    def test_score_is_partial(self, score):
+        # The compiler-fuzzing mutator set is full of equivalent mutants,
+        # so the score sits well below 100% (the paper's §6 point).
+        assert 0.1 < score.score < 0.9
+
+    def test_restricted_mutator_set(self):
+        infos = [global_registry.get("ModifyIntegerLiteral")]
+        score = mutation_score(
+            PROGRAM, mutants_per_mutator=3, mutators=infos,
+            rng=random.Random(5),
+        )
+        assert score.results
+        assert all(r.mutator == "ModifyIntegerLiteral" for r in score.results)
+
+    def test_noncompiling_program_rejected(self):
+        with pytest.raises(ValueError):
+            mutation_score("int main(void) { return x; }")

@@ -1,0 +1,72 @@
+"""Program generator and seed corpus tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cast.parser import parse
+from repro.cast.sema import Sema
+from repro.fuzzing.progen import GenPolicy, ProgramGenerator
+from repro.fuzzing.seedgen import TEMPLATES, generate_seeds, template_seeds
+
+
+def _errors(text):
+    return [d for d in Sema().analyze(parse(text)) if d.severity == "error"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 1 << 32))
+def test_generated_programs_always_compile(seed):
+    program = ProgramGenerator(random.Random(seed)).generate()
+    assert not _errors(program), program
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 1 << 32))
+def test_loop_focus_policy_compiles(seed):
+    policy = GenPolicy(loop_focus=True, max_depth=6, use_switch=False)
+    program = ProgramGenerator(random.Random(seed), policy).generate()
+    assert not _errors(program), program
+
+
+def test_generation_is_deterministic():
+    a = ProgramGenerator(random.Random(7)).generate()
+    b = ProgramGenerator(random.Random(7)).generate()
+    assert a == b
+
+
+def test_generated_programs_have_main():
+    program = ProgramGenerator(random.Random(3)).generate()
+    assert "int main(void)" in program
+
+
+class TestSeedCorpus:
+    def test_default_size_matches_paper(self):
+        assert len(generate_seeds(1839)) == 1839
+
+    def test_templates_all_instantiate_and_compile(self):
+        for seed in template_seeds():
+            assert not _errors(seed), seed
+
+    def test_template_count(self):
+        assert len(template_seeds(3)) == 3 * len(TEMPLATES)
+
+    def test_corpus_is_deterministic(self):
+        assert generate_seeds(50) == generate_seeds(50)
+
+    def test_corpus_entries_distinct(self):
+        seeds = generate_seeds(60)
+        assert len(set(seeds)) == 60
+
+    def test_case_study_precursors_present(self):
+        seeds = template_seeds()
+        joined = "\n".join(seeds)
+        assert "sprintf(buffer" in joined  # strlen-opt seed
+        assert "while (--n)" in joined  # GCC #111820 seed
+        assert "__imag" in joined  # GCC #111819 seed
+        assert "goto gt" in joined  # Clang #63762 seed
+
+    def test_sample_compiles(self):
+        for seed in generate_seeds(30):
+            assert not _errors(seed)

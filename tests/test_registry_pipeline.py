@@ -1,0 +1,170 @@
+"""Registry semantics, supervised pipeline, and interpreter library edges."""
+
+import random
+
+import pytest
+
+import repro.mutators  # noqa: F401
+from repro.cast.parser import parse
+from repro.cast.sema import Sema
+from repro.compiler.coverage import CoverageMap
+from repro.compiler.irgen import IRGen
+from repro.compiler.interp import execute
+from repro.metamut import MetaMut
+from repro.muast import Mutator, ASTVisitor
+from repro.muast.registry import (
+    CATEGORIES, MutatorRegistry, MutatorInfo, global_registry,
+)
+
+
+class TestRegistry:
+    def test_duplicate_names_rejected(self):
+        registry = MutatorRegistry()
+
+        class Dummy(Mutator, ASTVisitor):
+            def mutate(self):
+                return False
+
+        info = MutatorInfo("X", "d" * 30, Dummy, "Expression", "supervised")
+        registry.register(info)
+        with pytest.raises(ValueError):
+            registry.register(info)
+
+    def test_unknown_category_rejected(self):
+        registry = MutatorRegistry()
+
+        class Dummy(Mutator, ASTVisitor):
+            def mutate(self):
+                return False
+
+        with pytest.raises(ValueError):
+            registry.register(
+                MutatorInfo("Y", "d" * 30, Dummy, "Nope", "supervised")
+            )
+
+    def test_create_sets_name_and_description(self):
+        mutator = global_registry.create("DuplicateBranch", random.Random(0))
+        assert mutator.name == "DuplicateBranch"
+        assert "IfStmt" in mutator.description
+
+    def test_category_queries_partition_registry(self):
+        total = sum(
+            len(global_registry.by_category(c)) for c in CATEGORIES
+        )
+        assert total == len(global_registry) == 118
+
+    def test_origin_queries_partition_registry(self):
+        s = {i.name for i in global_registry.supervised()}
+        u = {i.name for i in global_registry.unsupervised()}
+        assert not (s & u)
+        assert len(s | u) == 118
+
+
+class TestSupervisedPipeline:
+    def test_supervised_run_produces_target_count(self):
+        campaign = MetaMut().run_supervised(count=8, seed=5)
+        produced = [
+            r
+            for r in campaign.records
+            if r.status == "valid"
+            and r.invention is not None
+            and r.invention.registry_name is not None
+        ]
+        assert len(produced) >= 8
+        # Human supervision leaves no invalid records behind.
+        assert all(r.status != "invalid" for r in campaign.records)
+
+    def test_supervised_costs_ledgered(self):
+        campaign = MetaMut().run_supervised(count=5, seed=6)
+        assert len(campaign.ledger.records) >= 5
+
+
+def run_c(text, fuel=200_000):
+    unit = parse(text)
+    sema = Sema()
+    assert not [d for d in sema.analyze(unit) if d.severity == "error"]
+    return execute(IRGen(sema, CoverageMap()).lower(unit), fuel=fuel)
+
+
+class TestInterpreterLibrary:
+    def test_printf_formats(self):
+        result = run_c(
+            'int main(void){ printf("%d %u %x %c %s|", -3, 7, 255, 65, "ok");'
+            ' printf("%f", 1.5); return 0; }'
+        )
+        assert result.output.startswith("-3 7 ff A ok|1.5")
+
+    def test_snprintf_truncates(self):
+        result = run_c(
+            "char b[8]; int main(void){ snprintf(b, 4, \"%s\", \"abcdef\");"
+            ' printf("%s", b); return 0; }'
+        )
+        assert result.output == "abc"
+
+    def test_strcpy_strcmp(self):
+        result = run_c(
+            "char a[8]; int main(void){ strcpy(a, \"zz\");"
+            " return strcmp(a, \"zz\") == 0 ? 4 : 9; }"
+        )
+        assert result.return_code == 4
+
+    def test_rand_is_seeded_deterministic(self):
+        program = (
+            "int main(void){ srand(7); int a = rand(); srand(7);"
+            " return a == rand(); }"
+        )
+        assert run_c(program).return_code == 1
+
+    def test_calloc_zeroed(self):
+        result = run_c(
+            "int main(void){ int *p = calloc(4, 4); return p[3]; }"
+        )
+        assert result.return_code == 0
+
+    def test_assert_success_and_failure(self):
+        assert run_c("int main(void){ assert(1); return 2; }").return_code == 2
+        assert run_c("int main(void){ assert(0); return 2; }").status == "abort"
+
+    def test_recursion_overflow_is_a_trap(self):
+        result = run_c(
+            "int f(int n) { return f(n + 1); } int main(void){ return f(0); }",
+            fuel=10_000_000,
+        )
+        assert result.status in ("trap", "timeout")
+
+
+class TestSemaEdges:
+    def _errors(self, text):
+        return [
+            d.message
+            for d in Sema().analyze(parse(text))
+            if d.severity == "error"
+        ]
+
+    def test_enum_constant_is_constant_expression(self):
+        assert not self._errors(
+            "enum e { K = 3 }; void f(int x) { switch (x) { case K: ; } }"
+        )
+
+    def test_tentative_global_redefinition_allowed(self):
+        assert not self._errors("int g; int g;")
+
+    def test_shadowing_in_nested_blocks(self):
+        assert not self._errors(
+            "void f(void) { int x = 1; { int x = 2; x++; } x++; }"
+        )
+
+    def test_function_and_variable_name_collision(self):
+        assert self._errors("int f(void) { return 0; } int f;")
+
+    def test_conflicting_prototypes(self):
+        assert self._errors("int f(void); double f(void);")
+
+    def test_duplicate_struct_member(self):
+        assert self._errors("struct s { int a; int a; };")
+
+    def test_union_member_access(self):
+        assert not self._errors(
+            "union u { int i; double d; };"
+            "int f(void) { union u v; v.i = 3; return v.i; }"
+        )

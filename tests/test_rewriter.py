@@ -1,0 +1,123 @@
+"""Rewriter tests: edit application, conflicts, insertions."""
+
+from hypothesis import given, strategies as st
+
+from repro.cast.rewriter import Rewriter
+from repro.cast.source import SourceFile, SourceLocation, SourceRange
+
+
+def make(text="0123456789"):
+    return Rewriter(SourceFile(text))
+
+
+class TestReplace:
+    def test_single_replacement(self):
+        rw = make()
+        assert rw.replace_text(SourceRange.of(2, 4), "XY")
+        assert rw.rewritten_text() == "01XY456789"
+
+    def test_replacement_with_different_length(self):
+        rw = make()
+        assert rw.replace_text(SourceRange.of(0, 5), "*")
+        assert rw.rewritten_text() == "*56789"
+
+    def test_two_disjoint_edits(self):
+        rw = make()
+        assert rw.replace_text(SourceRange.of(0, 2), "A")
+        assert rw.replace_text(SourceRange.of(8, 10), "B")
+        assert rw.rewritten_text() == "A234567B"
+
+    def test_edits_applied_in_position_order(self):
+        rw = make()
+        # Register in reverse order; output must still be positional.
+        assert rw.replace_text(SourceRange.of(6, 8), "b")
+        assert rw.replace_text(SourceRange.of(2, 4), "a")
+        assert rw.rewritten_text() == "01a45b89"
+
+    def test_overlapping_replacements_rejected(self):
+        rw = make()
+        assert rw.replace_text(SourceRange.of(2, 6), "A")
+        assert not rw.replace_text(SourceRange.of(4, 8), "B")
+        assert rw.rewritten_text() == "01A6789"
+
+    def test_adjacent_replacements_allowed(self):
+        rw = make()
+        assert rw.replace_text(SourceRange.of(2, 4), "A")
+        assert rw.replace_text(SourceRange.of(4, 6), "B")
+        assert rw.rewritten_text() == "01AB6789"
+
+    def test_remove_text(self):
+        rw = make()
+        assert rw.remove_text(SourceRange.of(3, 7))
+        assert rw.rewritten_text() == "012789"
+
+    def test_out_of_bounds_rejected(self):
+        rw = make()
+        assert not rw.replace_text(SourceRange.of(5, 99), "X")
+        assert not rw.replace_text(SourceRange.of(-1, 2), "X")
+
+
+class TestInsertions:
+    def test_insert_before(self):
+        rw = make()
+        assert rw.insert_text_before(SourceLocation(5), "^")
+        assert rw.rewritten_text() == "01234^56789"
+
+    def test_insert_at_ends(self):
+        rw = make()
+        assert rw.insert_text_before(SourceLocation(0), "<")
+        assert rw.insert_text_after(SourceLocation(10), ">")
+        assert rw.rewritten_text() == "<0123456789>"
+
+    def test_insertion_inside_replacement_rejected(self):
+        rw = make()
+        assert rw.replace_text(SourceRange.of(2, 8), "X")
+        assert not rw.insert_text_before(SourceLocation(5), "^")
+
+    def test_insertion_at_replacement_boundary_allowed(self):
+        rw = make()
+        assert rw.replace_text(SourceRange.of(2, 5), "X")
+        assert rw.insert_text_before(SourceLocation(2), "^")
+        assert rw.rewritten_text() == "01^X56789"
+
+    def test_replacement_over_prior_insertion_rejected(self):
+        rw = make()
+        assert rw.insert_text_before(SourceLocation(5), "^")
+        assert not rw.replace_text(SourceRange.of(2, 8), "X")
+
+    def test_same_point_insertions_keep_order(self):
+        rw = make()
+        assert rw.insert_text_before(SourceLocation(5), "a")
+        assert rw.insert_text_before(SourceLocation(5), "b")
+        assert rw.rewritten_text() == "01234ab56789"
+
+    def test_has_edits(self):
+        rw = make()
+        assert not rw.has_edits
+        rw.insert_text_before(SourceLocation(0), "x")
+        assert rw.has_edits and rw.edit_count() == 1
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 9), st.text("abc", max_size=3)),
+        max_size=8,
+    )
+)
+def test_rewritten_text_preserves_untouched_regions(edits):
+    """Characters outside accepted edit ranges always survive in order."""
+    text = "0123456789"
+    rw = Rewriter(SourceFile(text))
+    accepted = []
+    for lo, hi, replacement in edits:
+        lo, hi = min(lo, hi), max(lo, hi)
+        if rw.replace_text(SourceRange.of(lo, hi), replacement):
+            accepted.append((lo, hi, replacement))
+    out = rw.rewritten_text()
+    covered = set()
+    for lo, hi, _r in accepted:
+        covered.update(range(lo, hi))
+    untouched = [c for i, c in enumerate(text) if i not in covered]
+    # The untouched characters appear in `out` in their original order.
+    it = iter(out)
+    assert all(ch in it for ch in untouched)

@@ -1,0 +1,142 @@
+"""Semantic analysis tests: what compiles and what does not."""
+
+import pytest
+
+from repro.cast import ast_nodes as ast
+from repro.cast import types as ct
+from repro.cast.parser import parse
+from repro.cast.sema import Sema, check
+
+
+def errors(text):
+    return [d.message for d in check(parse(text)) if d.severity == "error"]
+
+
+def compiles(text):
+    return not errors(text)
+
+
+VALID_PROGRAMS = [
+    "int x = 5;",
+    "int f(int a) { return a; }",
+    "int f(void) { int a = a; return a; }",  # decl visible in its own init
+    "int g; int f(void) { return g++; }",
+    "void f(int *p) { *p = 1; }",
+    "void f(void) { char buf[4] = \"abc\"; buf[0] = 'x'; }",
+    "struct s { int a; }; void f(void) { struct s v; v.a = 1; }",
+    "struct s { int a; }; void f(struct s *p) { p->a = 2; }",
+    "enum e { A, B }; int f(void) { return A + B; }",
+    "void f(void) { int i; for (i = 0; i < 3; i++) continue; }",
+    "void f(int x) { switch (x) { case 1: break; default: ; } }",
+    "void f(void) { goto l; l: ; }",
+    "int f(void); int f(void) { return 0; }",  # prototype + definition
+    "void f(void) { int x = 1 ? 2 : 3; }",
+    "unsigned f(unsigned a) { return a >> 3; }",
+    "int f(void) { return sprintf((char*)0, \"%d\", 1); }",
+    "double f(double d) { return d * 2.5; }",
+    "void f(void) { void *p = malloc(8); free(p); }",
+    "int f(void) { undeclared_fn(1); return 0; }",  # implicit decl = warning
+    "void f(void) { int a[3] = { 1, 2, 3 }; a[1] = a[2]; }",
+    "_Complex double z; double f(void) { return __real z + __imag z; }",
+    "void f(void) { int x; x = (1, 2); }",
+    "int f(void) { int i = 0; do { i++; } while (i < 3); return i; }",
+    "long f(int *a, int *b) { return a - b; }",  # pointer difference
+    "void f(void) { static int cache = 3; cache++; }",
+]
+
+INVALID_PROGRAMS = [
+    ("int f(void) { return x; }", "undeclared"),
+    ("void f(void) { int a; int a; }", "redefinition"),
+    ("void f(void) { break; }", "break"),
+    ("void f(void) { continue; }", "continue"),
+    ("void f(void) { case 1: ; }", "case"),
+    ("void f(void) { goto missing; }", "undeclared label"),
+    ("void f(void) { return 1; }", "void function"),
+    ("int f(void) { return; }", "should return a value"),
+    ("void f(void) { const int c = 1; c = 2; }", "const"),
+    ("void f(void) { int a[3]; a = 0; }", "not assignable"),
+    ("void f(void) { 5 = 1; }", "not assignable"),
+    ("struct s { int a; }; void f(void) { struct s v; v.missing = 1; }", "no member"),
+    ("void f(void) { int x; x.field = 1; }", "not a structure"),
+    ("void f(void) { int x; x(); }", "not a function"),
+    ("int g(int a); void f(void) { g(); }", "argument"),
+    ("int g(int a); void f(void) { g(1, 2); }", "argument"),
+    ("void f(void) { double d; int x = d % 2; }", "invalid operands"),
+    ("void f(int *p, int *q) { int x = p * q; }", "invalid operands"),
+    ("struct s { int a; }; void f(void) { struct s v; int x = v + 1; }", "invalid operands"),
+    ("void f(void) { int v = \"text\"; }", "incompatible"),
+    ("struct nope; void f(void) { struct nope v; }", "incomplete"),
+    ("void v; ", "void"),
+    ("void f(void) { switch (1.5) { default: ; } }", "not an integer"),
+    ("void f(int x) { switch (x) { case x: ; } }", "constant"),
+    ("int g = g0();", "constant"),  # global init must be constant
+    ("void f(void) { static int s = f(); }", "constant"),
+    ("void f(void) { int a[2] = { 1, 2, 3 }; }", "excess"),
+    ("void f(void) { double d; int *p = (int *)d; }", "cast"),
+]
+
+
+@pytest.mark.parametrize("text", VALID_PROGRAMS)
+def test_valid_program_compiles(text):
+    assert compiles(text), errors(text)
+
+
+@pytest.mark.parametrize("text,needle", INVALID_PROGRAMS)
+def test_invalid_program_rejected(text, needle):
+    msgs = errors(text)
+    assert msgs, f"expected an error matching {needle!r}"
+    assert any(needle in m for m in msgs), msgs
+
+
+class TestTypeAnnotations:
+    def test_declref_resolution(self):
+        unit = parse("int g; int f(void) { return g; }")
+        Sema().analyze(unit)
+        ref = [n for n in unit.walk() if isinstance(n, ast.DeclRefExpr)][0]
+        assert isinstance(ref.decl, ast.VarDecl)
+        assert ref.type == ct.INT
+
+    def test_usual_arithmetic_conversion_types(self):
+        unit = parse("void f(void) { int i; double d; d = i + d; }")
+        Sema().analyze(unit)
+        add = [
+            n
+            for n in unit.walk()
+            if isinstance(n, ast.BinaryOperator) and n.op == "+"
+        ][0]
+        assert add.type == ct.DOUBLE
+
+    def test_comparison_yields_int(self):
+        unit = parse("void f(double a) { int x = a < 1.0; }")
+        Sema().analyze(unit)
+        cmp_ = [n for n in unit.walk() if isinstance(n, ast.BinaryOperator) and n.op == "<"][0]
+        assert cmp_.type == ct.INT
+
+    def test_array_decays_in_call(self):
+        assert compiles("void g(int *p); int a[4]; void f(void) { g(a); }")
+
+    def test_subscript_element_type(self):
+        unit = parse("char buf[4]; char f(void) { return buf[1]; }")
+        Sema().analyze(unit)
+        sub = [n for n in unit.walk() if isinstance(n, ast.ArraySubscriptExpr)][0]
+        assert sub.type == ct.CHAR
+
+    def test_swapped_subscript_accepted(self):
+        assert compiles("int a[4]; int f(int i) { return i[a]; }")
+
+    def test_warning_is_not_error(self):
+        diags = check(parse("void f(void) { mystery(); }"))
+        assert any(d.severity == "warning" for d in diags)
+        assert not any(d.severity == "error" for d in diags)
+
+
+class TestQualifiers:
+    def test_const_pointee_passes_to_plain_pointer(self):
+        # Accepted (real compilers warn): the strlen-opt case depends on it.
+        assert compiles(
+            "const volatile char buf[8];"
+            "int f(void) { return sprintf((char*)0, \"%s\", buf); }"
+        )
+
+    def test_volatile_reads_ok(self):
+        assert compiles("volatile int v; int f(void) { return v + v; }")
