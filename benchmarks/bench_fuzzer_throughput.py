@@ -1,0 +1,50 @@
+"""Fuzzer throughput: steps/sec and cache hit-rate of the μCFuzz hot path.
+
+Not a paper table — this bench tracks the reproduction's own perf
+trajectory.  It runs the same μCFuzz.s campaign with the shared front-end
+cache off and on (identical RNG seed, hence an identical step sequence) and
+records steps/sec, the speedup, and the cache hit-rate to
+``BENCH_throughput.json``.
+
+Run standalone for the full acceptance measurement::
+
+    PYTHONPATH=src python benchmarks/bench_fuzzer_throughput.py --steps 600
+
+or with a tiny budget via the ``bench-smoke`` script (tier-2 CI).
+"""
+
+import os
+
+from repro.fuzzing.throughput import measure_throughput, write_report
+
+#: Pytest-collected runs use a reduced budget; the CLI defaults to 600.
+STEPS = int(os.environ.get("BENCH_THROUGHPUT_STEPS", "150"))
+
+
+def test_fuzzer_throughput(benchmark):
+    report = measure_throughput(steps=STEPS)
+    # Time one representative cached step for the pytest-benchmark table.
+    from repro.fuzzing.seedgen import generate_seeds
+    from repro.fuzzing.throughput import _build_fuzzer
+
+    fuzzer = _build_fuzzer("uCFuzz.s", generate_seeds(40), 2024, True)
+    benchmark(fuzzer.step)
+
+    write_report(report)
+    print(
+        f"\nThroughput ({STEPS} steps): "
+        f"{report['uncached']['steps_per_sec']} steps/sec uncached, "
+        f"{report['cached']['steps_per_sec']} steps/sec cached "
+        f"({report['speedup']}x, hit-rate {report['cache_hit_rate']:.2%})"
+    )
+
+    # The cache must engage on the hot path and must not change behaviour.
+    assert report["cache_hit_rate"] > 0
+    assert report["cached"]["final_coverage"] == report["uncached"]["final_coverage"]
+    assert report["speedup"] > 1.0
+
+
+if __name__ == "__main__":
+    from repro.fuzzing.throughput import main
+
+    raise SystemExit(main())

@@ -12,8 +12,20 @@ from repro.cast.parser import ParseError, Parser, parse
 from repro.cast.sema import Sema, SemaError, check
 from repro.cast.rewriter import Rewriter
 from repro.cast.unparse import unparse
+from repro.cast.cache import (
+    CacheInvariantError,
+    FrontendCache,
+    FrontendEntry,
+    analyze_front_end,
+    source_digest,
+)
 
 __all__ = [
+    "CacheInvariantError",
+    "FrontendCache",
+    "FrontendEntry",
+    "analyze_front_end",
+    "source_digest",
     "SourceFile",
     "SourceLocation",
     "SourceRange",

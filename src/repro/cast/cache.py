@@ -1,0 +1,177 @@
+"""Content-addressed front-end result cache.
+
+The fuzzing hot path front-ends the *same* program text over and over: every
+mutation attempt in a μCFuzz step re-lexes, re-parses, and re-runs Sema on
+the parent program, and ``Compiler.compile`` repeats the same work for any
+text it has already seen (the parent on no-op rounds, repeated mutants, pool
+members).  :class:`FrontendCache` keys the complete front-end result — token
+stream, :class:`~repro.cast.ast_nodes.TranslationUnit`, and analyzed
+:class:`~repro.cast.sema.Sema` — on a content hash of the source text, so
+each distinct text pays for lex/parse/sema exactly once.
+
+Safety contract: cached units are *never mutated in place*.  Mutators rewrite
+via the :class:`~repro.cast.rewriter.Rewriter` on source text, and the
+compiler only reads the AST.  As a guard, every cache hit re-hashes the
+stored source and raises :class:`CacheInvariantError` if it no longer
+matches the key it was stored under.
+
+Consumers attach derived, per-entry artifacts (memoized coverage edge sets,
+feature vectors, mutation contexts) to ``FrontendEntry.memo`` so higher
+layers can cache without this module importing them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cast import ast_nodes as ast
+from repro.cast.lexer import Lexer, LexError, Token
+from repro.cast.parser import ParseError, Parser
+from repro.cast.sema import Diagnostic, Sema
+from repro.cast.source import SourceFile
+
+#: Default bound on cached translation units.  The μCFuzz pool stays small
+#: (tens of programs) while mutants churn; 256 keeps every pool member warm.
+DEFAULT_CACHE_SIZE = 256
+
+
+class CacheInvariantError(AssertionError):
+    """A cached translation unit's source no longer matches its hash key."""
+
+
+def source_digest(text: str) -> str:
+    """The content hash used as the cache key."""
+    return hashlib.sha1(text.encode("utf-8", "replace")).hexdigest()
+
+
+@dataclass
+class FrontendEntry:
+    """Everything the front end computed for one source text."""
+
+    source_hash: str
+    source: SourceFile
+    #: Tokens up to the first lex error (the whole stream when none).
+    token_prefix: list[Token]
+    lex_error: LexError | None
+    unit: ast.TranslationUnit | None
+    parse_error: str | None
+    parse_recursion: bool
+    sema: Sema | None
+    sema_diags: list[Diagnostic]
+    #: Scratch space for derived per-text artifacts owned by higher layers
+    #: (driver coverage/feature summaries, μAST contexts).
+    memo: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def tokens(self) -> list[Token] | None:
+        """The full token stream, or None when lexing failed."""
+        return None if self.lex_error is not None else self.token_prefix
+
+    @property
+    def error_diagnostics(self) -> list[Diagnostic]:
+        return [d for d in self.sema_diags if d.severity == "error"]
+
+    @property
+    def compilable(self) -> bool:
+        """Parses and passes semantic analysis without errors."""
+        return self.unit is not None and not self.error_diagnostics
+
+
+def analyze_front_end(text: str, source_hash: str | None = None) -> FrontendEntry:
+    """Run the full front end (lex, parse, sema) on ``text``.
+
+    Mirrors the uncached pipeline exactly: best-effort lexing keeps the token
+    prefix for coverage attribution, a lex failure makes the parser re-lex so
+    its diagnostic matches the from-scratch path, and semantic analysis runs
+    only on parsed units.
+    """
+    source = SourceFile(text)
+    prefix, lex_error = Lexer(source).tokens_best_effort()
+    tokens = None if lex_error is not None else prefix
+    unit: ast.TranslationUnit | None = None
+    parse_error: str | None = None
+    parse_recursion = False
+    try:
+        unit = Parser(source, tokens=tokens).parse()
+    except (ParseError, RecursionError) as exc:
+        parse_error = str(exc)
+        parse_recursion = isinstance(exc, RecursionError)
+    sema: Sema | None = None
+    sema_diags: list[Diagnostic] = []
+    if unit is not None:
+        sema = Sema()
+        sema_diags = sema.analyze(unit)
+    return FrontendEntry(
+        source_hash=source_hash if source_hash is not None else source_digest(text),
+        source=source,
+        token_prefix=prefix,
+        lex_error=lex_error,
+        unit=unit,
+        parse_error=parse_error,
+        parse_recursion=parse_recursion,
+        sema=sema,
+        sema_diags=sema_diags,
+    )
+
+
+class FrontendCache:
+    """A bounded, content-hash-keyed LRU over :class:`FrontendEntry`."""
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE, verify_on_hit: bool = True) -> None:
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.verify_on_hit = verify_on_hit
+        self._entries: OrderedDict[str, FrontendEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def front_end(self, text: str) -> FrontendEntry:
+        """The cached front-end result for ``text``, computing on miss."""
+        key = source_digest(text)
+        entry = self._entries.get(key)
+        if entry is not None:
+            if self.verify_on_hit and source_digest(entry.source.text) != entry.source_hash:
+                raise CacheInvariantError(
+                    f"cached unit for {entry.source_hash[:12]} was mutated in place"
+                )
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+        self.misses += 1
+        entry = analyze_front_end(text, source_hash=key)
+        self._entries[key] = entry
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return entry
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cache_evictions": self.evictions,
+            "cache_hit_rate": self.hit_rate,
+            "cache_size": len(self._entries),
+            "cache_maxsize": self.maxsize,
+        }
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, text: str) -> bool:
+        return source_digest(text) in self._entries

@@ -21,6 +21,7 @@ reproduces the module/tooling distribution of Tables 4 and 6:
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -56,9 +57,12 @@ class BugSpec:
             return
         if self.kind == "hang":
             raise CompilerHang(self.bug_id, self.module, self.description)
+        # CRC32, not hash(): synthetic PCs must be identical across
+        # processes (pool workers) and runs, or crash signatures would not
+        # deduplicate consistently.
         frames = [
-            StackFrame(self.frames[0], 0x10 * (abs(hash(self.bug_id)) % 4096)),
-            StackFrame(self.frames[1], 0x8 * (abs(hash(self.bug_id[::-1])) % 4096)),
+            StackFrame(self.frames[0], 0x10 * (zlib.crc32(self.bug_id.encode()) % 4096)),
+            StackFrame(self.frames[1], 0x8 * (zlib.crc32(self.bug_id[::-1].encode()) % 4096)),
             StackFrame(
                 "internal_error" if self.compiler == "gcc-sim" else "llvm::report_error",
                 0,

@@ -11,9 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cast import ast_nodes as ast
-from repro.cast.parser import ParseError, Parser
-from repro.cast.sema import Sema
-from repro.cast.source import SourceFile
+from repro.cast.cache import FrontendCache, FrontendEntry, analyze_front_end
 from repro.compiler import features as feat
 from repro.compiler.backend import lower_to_asm
 from repro.compiler.bugs import BugRegistry
@@ -57,12 +55,21 @@ SAMPLABLE_FLAGS = (
 class Compiler:
     """One compiler personality (gcc-sim-14 or clang-sim-18)."""
 
-    def __init__(self, personality: str, version: str, bug_seed: int = 20240427) -> None:
+    def __init__(
+        self,
+        personality: str,
+        version: str,
+        bug_seed: int = 20240427,
+        cache: FrontendCache | None = None,
+    ) -> None:
         assert personality in ("gcc-sim", "clang-sim")
         self.personality = personality
         self.version = version
         self.name = f"{personality}-{version}"
+        self.bug_seed = bug_seed
         self.bugs = BugRegistry.for_compiler(personality, seed=bug_seed)
+        #: Optional shared front-end cache; ``compile(cache=...)`` overrides.
+        self.cache = cache
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Compiler {self.name}>"
@@ -74,6 +81,7 @@ class Compiler:
         source_text: str,
         opt_level: int = 2,
         flags: tuple[str, ...] = (),
+        cache: FrontendCache | None = None,
     ) -> CompileResult:
         cov = CoverageMap()
         result = CompileResult(False, self.name, coverage=cov)
@@ -84,7 +92,10 @@ class Compiler:
         }
         result.features = features
         try:
-            self._run_pipeline(source_text, opt_level, flags, cov, features, result)
+            self._run_pipeline(
+                source_text, opt_level, flags, cov, features, result,
+                cache if cache is not None else self.cache,
+            )
         except CompilerCrash as crash:
             result.ok = False
             result.crash = crash
@@ -106,40 +117,27 @@ class Compiler:
         cov: CoverageMap,
         features: dict,
         result: CompileResult,
+        cache: FrontendCache | None = None,
     ) -> None:
-        # ---- Front end: lex once, share the token stream. ----------------
-        from repro.cast.lexer import Lexer
-
-        prefix, lex_error = Lexer(SourceFile(source_text)).tokens_best_effort()
-        tokens = None if lex_error is not None else prefix
-        if lex_error is not None:
-            cov.hit("fe:lex_error", lex_error.message.split(" ")[0])
-        features.update(feat.lexical_features(source_text, tokens))
-        # Even broken inputs exercise the lexer up to the failure point.
-        self._cover_tokens(prefix, cov)
-
-        unit = self._parse(source_text, tokens, cov, features, result)
+        # ---- Front end: lex/parse/sema, shared via the content cache. ----
+        # The per-text summary (coverage edges, feature vector, diagnostics)
+        # is deterministic, so cache hits replay identical bookkeeping into
+        # this call's CoverageMap/CompileResult; bug checks stay per-call
+        # because they depend on opt_level/flags.
+        entry = cache.front_end(source_text) if cache is not None else analyze_front_end(source_text)
+        summary = _frontend_summary(entry)
+        cov.merge(summary.edges)
+        features.update(summary.features)
+        result.diagnostics.extend(summary.diagnostics)
         # Front-end bug checks run even on malformed input: a fuzzer can
-        # crash the parser without producing a valid program.  Semantic
-        # analysis runs before feature extraction — type-dependent
-        # fingerprints (e.g. swapped subscripts) need annotated nodes.
-        sema = None
-        if unit is not None:
-            sema = Sema()
-            diags = sema.analyze(unit)
-            for d in diags:
-                cov.hit("sema:diag", d.message.split("'")[0][:48])
-                if d.severity == "error":
-                    result.diagnostics.append(d.message)
-            if result.diagnostics:
-                features["sema_failed"] = 1
-            features.update(feat.ast_features(unit, source_text))
-            self._cover_ast(unit, cov)
+        # crash the parser without producing a valid program.
         self.bugs.check("front-end", features)
-        if unit is None or result.diagnostics:
+        if entry.unit is None or result.diagnostics:
             return
+        unit = entry.unit
 
         # ---- IR generation. ---------------------------------------------
+        sema = entry.sema
         assert sema is not None
         irgen = IRGen(sema, cov)
         try:
@@ -185,51 +183,82 @@ class Compiler:
             extra = ("-ftree-vectorize",)
         return tuple(flags) + extra
 
-    def _parse(
-        self,
-        source_text: str,
-        tokens,
-        cov: CoverageMap,
-        features: dict,
-        result: CompileResult,
-    ) -> ast.TranslationUnit | None:
-        try:
-            parser = Parser(SourceFile(source_text), tokens=tokens)
-            unit = parser.parse()
-        except (ParseError, RecursionError) as exc:
-            message = str(exc)[:64]
-            cov.hit("fe:diag", message.split(" ")[0])
-            cov.hit("fe:diag_detail", message[:28])
-            result.diagnostics.append(f"error: {message}")
-            features["parse_failed"] = 1
-            if isinstance(exc, RecursionError):
-                features["parse_depth_overflow"] = 1
-            return None
-        cov.hit("fe:decls", min(len(unit.decls), 32))
-        return unit
 
-    def _cover_tokens(self, tokens, cov: CoverageMap) -> None:
-        from repro.cast.lexer import TokenKind
+@dataclass(frozen=True)
+class _FrontendSummary:
+    """Per-text front-end bookkeeping, replayed into each compile call."""
 
-        prev = None
-        for tok in tokens[:6000]:
-            key = tok.text if tok.kind in (TokenKind.KEYWORD, TokenKind.PUNCT) else tok.kind.name
-            cov.hit("fe:token", key)
-            if prev is not None:
-                cov.hit("fe:token2", (prev, key))
-            prev = key
+    edges: frozenset
+    features: dict
+    diagnostics: tuple[str, ...]
 
-    def _cover_ast(self, unit: ast.TranslationUnit, cov: CoverageMap) -> None:
-        for node in unit.walk():
-            cov.hit("fe:node", node.kind)
-            for child in node.children():
-                cov.hit("fe:edge", (node.kind, child.kind))
-            if isinstance(node, ast.BinaryOperator):
-                cov.hit("fe:binop", node.op)
-            elif isinstance(node, ast.UnaryOperator):
-                cov.hit("fe:unop", (node.op, node.prefix))
-            elif isinstance(node, (ast.VarDecl, ast.ParmVarDecl, ast.FieldDecl)):
-                cov.hit("fe:type", node.type.spelling())
+
+def _frontend_summary(entry: FrontendEntry) -> _FrontendSummary:
+    """Coverage edges, features, and diagnostics for one front-end result.
+
+    Deterministic per source text, so it is memoized on the cache entry; the
+    caller merges it into per-call state.  The summary dict/edge set are
+    treated as immutable after construction.
+    """
+    summary = entry.memo.get("driver_summary")
+    if summary is not None:
+        return summary
+    cov = CoverageMap()
+    features: dict = {}
+    diagnostics: list[str] = []
+    if entry.lex_error is not None:
+        cov.hit("fe:lex_error", entry.lex_error.message.split(" ")[0])
+    features.update(feat.lexical_features(entry.source.text, entry.tokens))
+    # Even broken inputs exercise the lexer up to the failure point.
+    _cover_tokens(entry.token_prefix, cov)
+    if entry.unit is None:
+        message = (entry.parse_error or "")[:64]
+        cov.hit("fe:diag", message.split(" ")[0])
+        cov.hit("fe:diag_detail", message[:28])
+        diagnostics.append(f"error: {message}")
+        features["parse_failed"] = 1
+        if entry.parse_recursion:
+            features["parse_depth_overflow"] = 1
+    else:
+        cov.hit("fe:decls", min(len(entry.unit.decls), 32))
+        # Semantic analysis ran before feature extraction — type-dependent
+        # fingerprints (e.g. swapped subscripts) need annotated nodes.
+        for d in entry.sema_diags:
+            cov.hit("sema:diag", d.message.split("'")[0][:48])
+            if d.severity == "error":
+                diagnostics.append(d.message)
+        if diagnostics:
+            features["sema_failed"] = 1
+        features.update(feat.ast_features(entry.unit, entry.source.text))
+        _cover_ast(entry.unit, cov)
+    summary = _FrontendSummary(frozenset(cov.edges), features, tuple(diagnostics))
+    entry.memo["driver_summary"] = summary
+    return summary
+
+
+def _cover_tokens(tokens, cov: CoverageMap) -> None:
+    from repro.cast.lexer import TokenKind
+
+    prev = None
+    for tok in tokens[:6000]:
+        key = tok.text if tok.kind in (TokenKind.KEYWORD, TokenKind.PUNCT) else tok.kind.name
+        cov.hit("fe:token", key)
+        if prev is not None:
+            cov.hit("fe:token2", (prev, key))
+        prev = key
+
+
+def _cover_ast(unit: ast.TranslationUnit, cov: CoverageMap) -> None:
+    for node in unit.walk():
+        cov.hit("fe:node", node.kind)
+        for child in node.children():
+            cov.hit("fe:edge", (node.kind, child.kind))
+        if isinstance(node, ast.BinaryOperator):
+            cov.hit("fe:binop", node.op)
+        elif isinstance(node, ast.UnaryOperator):
+            cov.hit("fe:unop", (node.op, node.prefix))
+        elif isinstance(node, (ast.VarDecl, ast.ParmVarDecl, ast.FieldDecl)):
+            cov.hit("fe:type", node.type.spelling())
 
 
 #: The two evaluation targets of §5.1 (GCC-14 and Clang-18 stand-ins).

@@ -21,6 +21,9 @@ class StepResult:
     #: Whether the program was added back to the pool (coverage-guided only).
     kept: bool = False
     mutator: str | None = None
+    #: Per-step execution stats (mutation attempts, cache hits/misses);
+    #: None for fuzzers that don't track them.
+    stats: dict | None = None
 
 
 class Fuzzer:
@@ -37,9 +40,15 @@ class Fuzzer:
         self.compiler = compiler
         self.rng = rng
         self.coverage = CoverageMap()
+        #: Cumulative execution counters; subclasses add their own keys.
+        self.stats: dict = {}
 
     def step(self) -> StepResult:
         raise NotImplementedError
+
+    def stats_snapshot(self) -> dict:
+        """A copy of the cumulative stats, for campaign reporting."""
+        return dict(self.stats)
 
     def observe(self, step: StepResult) -> None:
         """Default coverage accounting (after the campaign recorded it)."""

@@ -12,7 +12,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.compiler.driver import Compiler
-from repro.muast.registry import MutatorRegistry
+from repro.muast.registry import MutatorRegistry, global_registry
 
 # Importing the library populates the global registry with all 118 mutators.
 import repro.mutators  # noqa: F401  (registration side effect)
@@ -20,6 +20,7 @@ from repro.fuzzing.base import Fuzzer
 from repro.fuzzing.baselines import AFLPlusPlus, CsmithSim, GrayCSim, YarpGenSim
 from repro.fuzzing.crash import CrashLog
 from repro.fuzzing.mucfuzz import MuCFuzz
+from repro.fuzzing.parallel import CellSpec, run_cells, stable_cell_seed
 
 FUZZER_NAMES = ("uCFuzz.s", "uCFuzz.u", "AFL++", "GrayC", "Csmith", "YARPGen")
 
@@ -37,6 +38,8 @@ class CampaignResult:
     total: int = 0
     #: Modeled 24-hour program total (Table 5 extrapolation).
     throughput_total: int = 0
+    #: Fuzzer execution stats (attempts, cache hits/misses, hit rate).
+    stats: dict = field(default_factory=dict)
 
     @property
     def compilable_ratio(self) -> float:
@@ -98,6 +101,7 @@ def run_campaign(
         if (i + 1) % sample_every == 0 or i + 1 == steps:
             result.coverage_trend.append((vhour, len(fuzzer.coverage)))
     result.throughput_total = int(virtual_hours * 3600 / fuzzer.step_cost)
+    result.stats = fuzzer.stats_snapshot()
     return result
 
 
@@ -112,16 +116,31 @@ class Campaign:
     base_seed: int = 2024
 
     def run(
-        self, fuzzer_names: tuple[str, ...] = FUZZER_NAMES
+        self,
+        fuzzer_names: tuple[str, ...] = FUZZER_NAMES,
+        parallelism: int = 1,
     ) -> list[CampaignResult]:
-        results = []
-        for compiler in self.compilers:
-            for name in fuzzer_names:
-                rng = random.Random(
-                    (hash((name, compiler.name)) ^ self.base_seed) & 0xFFFFFFFF
-                )
-                fuzzer = make_fuzzer(
-                    name, compiler, self.seeds, self.registry, rng
-                )
-                results.append(run_campaign(fuzzer, self.steps))
-        return results
+        """Run every fuzzer × compiler cell; fan out over processes if asked.
+
+        Each cell's RNG is seeded from a stable digest of the (fuzzer,
+        compiler) pair (``hash()`` would vary with PYTHONHASHSEED and per
+        pool worker), and every cell — serial or parallel — is executed from
+        an identical :class:`CellSpec`, so ``parallelism=N`` returns the
+        same results as ``parallelism=1``, in the same stable order.
+        """
+        registry = self.registry if self.registry is not global_registry else None
+        specs = [
+            CellSpec(
+                fuzzer_name=name,
+                personality=compiler.personality,
+                version=compiler.version,
+                bug_seed=compiler.bug_seed,
+                seeds=tuple(self.seeds),
+                steps=self.steps,
+                cell_seed=stable_cell_seed(name, compiler.name, self.base_seed),
+                registry=registry,
+            )
+            for compiler in self.compilers
+            for name in fuzzer_names
+        ]
+        return run_cells(specs, parallelism)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import random
 
+from repro.cast.cache import FrontendCache
 from repro.compiler.coverage import CoverageMap
 from repro.compiler.driver import Compiler, SAMPLABLE_FLAGS
 from repro.muast.mutator import MutatorCrash, MutatorHang, apply_mutator
@@ -38,11 +39,19 @@ class MacroFuzzer(CoverageGuidedFuzzer):
         seeds: list[str],
         mutators: list[MutatorInfo],
         shared_coverage: CoverageMap | None = None,
+        *,
+        cache: FrontendCache | None = None,
+        use_cache: bool = True,
     ) -> None:
         super().__init__(compiler, rng, seeds)
         self.mutators = list(mutators)
         if shared_coverage is not None:
             self.coverage = shared_coverage  # enhancement 3
+        # Havoc re-front-ends the intermediate mutant of every round; the
+        # shared cache makes rounds after the first nearly free.
+        self.cache = cache if cache is not None else (
+            FrontendCache() if use_cache else None
+        )
 
     def sample_options(self) -> tuple[int, tuple[str, ...]]:
         """Enhancement 1: random -O level plus a random flag subset."""
@@ -63,7 +72,9 @@ class MacroFuzzer(CoverageGuidedFuzzer):
                 mutant = mutated
                 applied.append(info.name)
         opt_level, flags = self.sample_options()
-        result = self.compiler.compile(mutant, opt_level=opt_level, flags=flags)
+        result = self.compiler.compile(
+            mutant, opt_level=opt_level, flags=flags, cache=self.cache
+        )
         kept = False
         if applied:
             kept = self.keep_if_new_coverage(
@@ -77,7 +88,7 @@ class MacroFuzzer(CoverageGuidedFuzzer):
     def _mutate(self, text: str, info: MutatorInfo) -> str | None:
         mutator = info.create(random.Random(self.rng.randrange(1 << 62)))
         try:
-            outcome = apply_mutator(mutator, text)
+            outcome = apply_mutator(mutator, text, cache=self.cache)
         except (MutatorCrash, MutatorHang, RecursionError):
             return None
         return outcome.mutant_text if outcome.changed else None

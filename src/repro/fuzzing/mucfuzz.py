@@ -3,12 +3,19 @@
 Each iteration picks a random pool program, applies mutators in a random
 order, and keeps the first mutant that covers a new branch.  No Havoc, no
 mopt, no fork server, no pool culling — deliberately simple (§3.4).
+
+Performance: all mutation attempts of one iteration target the same parent
+program, so the front end (lex/parse/sema) of the parent is computed once
+and shared through a :class:`~repro.cast.cache.FrontendCache`; the same
+cache backs ``Compiler.compile``'s front-end stage for mutants and no-op
+recompiles.  Pass ``use_cache=False`` to measure the uncached baseline.
 """
 
 from __future__ import annotations
 
 import random
 
+from repro.cast.cache import FrontendCache
 from repro.compiler.driver import Compiler
 from repro.muast.mutator import MutatorCrash, MutatorHang, apply_mutator
 from repro.muast.registry import MutatorInfo
@@ -31,13 +38,37 @@ class MuCFuzz(CoverageGuidedFuzzer):
         seeds: list[str],
         mutators: list[MutatorInfo],
         name: str = "uCFuzz",
+        *,
+        cache: FrontendCache | None = None,
+        use_cache: bool = True,
     ) -> None:
         super().__init__(compiler, rng, seeds)
         self.mutators = list(mutators)
         self.name = name
-        self.stats = {"attempts": 0, "mutator_failures": 0, "unchanged": 0}
+        self.cache = cache if cache is not None else (
+            FrontendCache() if use_cache else None
+        )
+        self.stats = {
+            "steps": 0,
+            "attempts": 0,
+            "mutator_failures": 0,
+            "unchanged": 0,
+        }
+
+    def stats_snapshot(self) -> dict:
+        snap = dict(self.stats)
+        if self.cache is not None:
+            snap.update(self.cache.stats())
+        steps = snap.get("steps", 0)
+        snap["attempts_per_step"] = snap["attempts"] / steps if steps else 0.0
+        return snap
 
     def step(self) -> StepResult:
+        self.stats["steps"] += 1
+        cache_before = (
+            (self.cache.hits, self.cache.misses) if self.cache is not None else (0, 0)
+        )
+        attempts_before = self.stats["attempts"]
         parent = self.pool.random_choice(self.rng)
         order = list(self.mutators)
         self.rng.shuffle(order)
@@ -48,23 +79,39 @@ class MuCFuzz(CoverageGuidedFuzzer):
             if mutant is None or mutant == parent.text:
                 self.stats["unchanged"] += 1
                 continue
-            result = self.compiler.compile(mutant)
+            result = self.compiler.compile(mutant, cache=self.cache)
             kept = self.keep_if_new_coverage(mutant, result, parent, info.name)
             self.coverage.merge(result.coverage)
             last = StepResult(mutant, result, kept=kept, mutator=info.name)
             if kept or result.crashed:
-                return last
+                return self._finish(last, attempts_before, cache_before)
         if last is not None:
-            return last
+            return self._finish(last, attempts_before, cache_before)
         # Nothing mutated this round; recompile the parent (a no-op round).
-        result = self.compiler.compile(parent.text)
+        result = self.compiler.compile(parent.text, cache=self.cache)
         self.coverage.merge(result.coverage)
-        return StepResult(parent.text, result, kept=False, mutator=None)
+        return self._finish(
+            StepResult(parent.text, result, kept=False, mutator=None),
+            attempts_before,
+            cache_before,
+        )
+
+    def _finish(
+        self,
+        step: StepResult,
+        attempts_before: int,
+        cache_before: tuple[int, int],
+    ) -> StepResult:
+        step.stats = {"attempts": self.stats["attempts"] - attempts_before}
+        if self.cache is not None:
+            step.stats["cache_hits"] = self.cache.hits - cache_before[0]
+            step.stats["cache_misses"] = self.cache.misses - cache_before[1]
+        return step
 
     def _mutate(self, text: str, info: MutatorInfo) -> str | None:
         mutator = info.create(random.Random(self.rng.randrange(1 << 62)))
         try:
-            outcome = apply_mutator(mutator, text)
+            outcome = apply_mutator(mutator, text, cache=self.cache)
         except (MutatorCrash, MutatorHang, RecursionError):
             self.stats["mutator_failures"] += 1
             return None

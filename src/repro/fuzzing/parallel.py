@@ -1,0 +1,102 @@
+"""Process-parallel campaign execution.
+
+The paper's headline experiment runs 60 parallel fuzzer instances per
+fuzzer/compiler pair; the reproduction's RQ1 grid is an embarrassingly
+parallel set of *cells* (one fuzzer on one compiler).  This module fans
+cells out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Determinism contract: a cell is fully described by a picklable
+:class:`CellSpec` — fuzzer name, compiler personality/version/bug seed,
+seed programs, step budget, and a stable per-cell RNG seed.  A worker
+reconstructs the compiler and fuzzer from the spec, so the result depends
+only on the spec, never on which process (or how many) executed it;
+``parallelism=N`` is result-for-result identical to the serial run.
+Results are returned in submission order.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.fuzzing.campaign import CampaignResult
+    from repro.muast.registry import MutatorRegistry
+
+
+def stable_cell_seed(fuzzer_name: str, compiler_name: str, base_seed: int) -> int:
+    """A per-cell RNG seed that is stable across processes and runs.
+
+    ``hash()`` on strings is randomized per interpreter (PYTHONHASHSEED), so
+    it would differ between pool workers and the parent; CRC32 is not.
+    """
+    digest = zlib.crc32(f"{fuzzer_name}\x00{compiler_name}".encode("utf-8"))
+    return (digest ^ base_seed) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One fuzzer × compiler campaign cell, picklable for pool workers."""
+
+    fuzzer_name: str
+    personality: str
+    version: str
+    bug_seed: int
+    seeds: tuple[str, ...]
+    steps: int
+    cell_seed: int
+    virtual_hours: float = 24.0
+    sample_points: int = 24
+    #: None means "the process-global registry" (every worker imports
+    #: :mod:`repro.mutators`, so the global registry is identical everywhere).
+    registry: "MutatorRegistry | None" = None
+
+
+def run_cell(spec: CellSpec) -> "CampaignResult":
+    """Run one campaign cell from scratch; the pool worker entry point."""
+    import random
+
+    import repro.mutators  # noqa: F401  (populate the worker's registry)
+    from repro.compiler.driver import Compiler
+    from repro.fuzzing.campaign import make_fuzzer, run_campaign
+    from repro.muast.registry import global_registry
+
+    registry = spec.registry if spec.registry is not None else global_registry
+    compiler = Compiler(spec.personality, spec.version, bug_seed=spec.bug_seed)
+    fuzzer = make_fuzzer(
+        spec.fuzzer_name,
+        compiler,
+        list(spec.seeds),
+        registry,
+        random.Random(spec.cell_seed),
+    )
+    return run_campaign(
+        fuzzer, spec.steps, spec.virtual_hours, spec.sample_points
+    )
+
+
+def run_cells(
+    specs: Sequence[CellSpec], parallelism: int = 1
+) -> "list[CampaignResult]":
+    """Run all cells, fanning out over processes when ``parallelism > 1``.
+
+    Falls back to the serial loop when the pool cannot be used (single cell,
+    no multiprocessing support in the environment, or unpicklable specs —
+    e.g. a registry holding locally-defined mutator classes).  Because cells
+    are deterministic, the fallback produces the same results.
+    """
+    if parallelism <= 1 or len(specs) <= 1:
+        return [run_cell(spec) for spec in specs]
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        workers = min(parallelism, len(specs), os.cpu_count() or 1)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(run_cell, spec) for spec in specs]
+            return [f.result() for f in futures]
+    except Exception:
+        # Pool startup/pickling failures; cell errors re-raise identically
+        # from the serial rerun below.
+        return [run_cell(spec) for spec in specs]

@@ -1,0 +1,152 @@
+"""Fuzzing-throughput measurement: steps/sec with the cache on vs. off.
+
+The perf contract of the front-end cache is measured here: the same μCFuzz
+run (same compiler, seeds, RNG seed — hence an identical step sequence) is
+executed uncached and cached in one process, and the steps/sec ratio plus
+the cache hit-rate are written to ``BENCH_throughput.json`` so successive
+PRs accumulate a perf trajectory.
+
+Entry points:
+
+* ``python benchmarks/bench_fuzzer_throughput.py`` — the full 600-step run;
+* ``bench-smoke`` (``pyproject.toml`` script) / :func:`smoke_main` — a tiny
+  step budget that asserts the cache is actually hitting (tier-2 CI smoke).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import random
+import time
+from pathlib import Path
+
+#: Default step budget: the acceptance run of the ISSUE (600-step μCFuzz.s).
+DEFAULT_STEPS = 600
+DEFAULT_SEEDS = 40
+DEFAULT_REPORT = "BENCH_throughput.json"
+
+
+def _build_fuzzer(fuzzer_name: str, seeds: list[str], seed: int, use_cache: bool):
+    import repro.mutators  # noqa: F401  (populate the registry)
+    from repro.compiler.driver import Compiler, GCC_SIM
+    from repro.fuzzing.mucfuzz import MuCFuzz
+    from repro.muast.registry import global_registry
+
+    compiler = Compiler(*GCC_SIM)
+    mutators = (
+        global_registry.unsupervised()
+        if fuzzer_name == "uCFuzz.u"
+        else global_registry.supervised()
+    )
+    return MuCFuzz(
+        compiler,
+        random.Random(seed),
+        seeds,
+        mutators,
+        name=fuzzer_name,
+        use_cache=use_cache,
+    )
+
+
+def _time_run(fuzzer, steps: int) -> dict:
+    # GC pauses scale with total retained heap, which grows over the
+    # process's lifetime — they would bill the later run for the earlier
+    # run's garbage.  Collect up front, then keep GC out of the timed loop.
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        for _ in range(steps):
+            fuzzer.step()
+        elapsed = time.perf_counter() - t0
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    stats = fuzzer.stats_snapshot()
+    return {
+        "steps": steps,
+        "seconds": round(elapsed, 4),
+        "steps_per_sec": round(steps / elapsed, 2) if elapsed > 0 else 0.0,
+        "final_coverage": len(fuzzer.coverage),
+        "pool_size": len(fuzzer.pool),
+        "stats": stats,
+    }
+
+
+def measure_throughput(
+    steps: int = DEFAULT_STEPS,
+    fuzzer_name: str = "uCFuzz.s",
+    n_seeds: int = DEFAULT_SEEDS,
+    seed: int = 2024,
+) -> dict:
+    """Run the cache-off and cache-on variants and compare steps/sec.
+
+    Both runs use the same RNG seed; caching does not consume fuzzer
+    randomness, so they execute the identical step sequence and the
+    comparison is apples-to-apples (also sanity-checked via coverage).
+    """
+    from repro.fuzzing.seedgen import generate_seeds
+
+    seeds = generate_seeds(n_seeds)
+    report: dict = {"fuzzer": fuzzer_name, "seed": seed, "n_seeds": n_seeds}
+    for label, use_cache in (("uncached", False), ("cached", True)):
+        fuzzer = _build_fuzzer(fuzzer_name, seeds, seed, use_cache)
+        report[label] = _time_run(fuzzer, steps)
+    assert (
+        report["cached"]["final_coverage"] == report["uncached"]["final_coverage"]
+    ), "cache changed fuzzing behaviour"
+    uncached_sps = report["uncached"]["steps_per_sec"]
+    report["speedup"] = (
+        round(report["cached"]["steps_per_sec"] / uncached_sps, 3)
+        if uncached_sps
+        else 0.0
+    )
+    report["cache_hit_rate"] = report["cached"]["stats"].get("cache_hit_rate", 0.0)
+    return report
+
+
+def write_report(report: dict, path: str | Path = DEFAULT_REPORT) -> Path:
+    out = Path(path)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def run(steps: int, output: str | Path, fuzzer_name: str = "uCFuzz.s") -> dict:
+    report = measure_throughput(steps=steps, fuzzer_name=fuzzer_name)
+    path = write_report(report, output)
+    print(
+        f"{report['fuzzer']}: {report['uncached']['steps_per_sec']} -> "
+        f"{report['cached']['steps_per_sec']} steps/sec "
+        f"(speedup {report['speedup']}x, "
+        f"cache hit-rate {report['cache_hit_rate']:.2%}) -> {path}"
+    )
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--steps", type=int, default=DEFAULT_STEPS)
+    parser.add_argument("--fuzzer", default="uCFuzz.s", choices=["uCFuzz.s", "uCFuzz.u"])
+    parser.add_argument("--output", default=DEFAULT_REPORT)
+    args = parser.parse_args(argv)
+    run(args.steps, args.output, args.fuzzer)
+    return 0
+
+
+def smoke_main(argv: list[str] | None = None) -> int:
+    """Tiny-budget CI smoke: the cache must be hitting on the hot path."""
+    parser = argparse.ArgumentParser(description="bench-smoke")
+    parser.add_argument("--steps", type=int, default=40)
+    parser.add_argument("--output", default=DEFAULT_REPORT)
+    args = parser.parse_args(argv)
+    report = run(args.steps, args.output)
+    if report["cache_hit_rate"] <= 0:
+        raise SystemExit("bench-smoke: cache hit-rate is 0 on the hot path")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the bench script
+    raise SystemExit(main())

@@ -14,6 +14,7 @@ from repro.muast.mutator import (
     MutatorHang,
     Mutator,
     apply_mutator,
+    context_for_entry,
 )
 from repro.muast.registry import (
     MutatorInfo,
@@ -29,6 +30,7 @@ __all__ = [
     "MutatorCrash",
     "MutatorHang",
     "apply_mutator",
+    "context_for_entry",
     "MutatorInfo",
     "MutatorRegistry",
     "global_registry",

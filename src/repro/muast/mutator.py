@@ -20,6 +20,7 @@ from typing import Iterable, Sequence, TypeVar
 
 from repro.cast import ast_nodes as ast
 from repro.cast import types as ct
+from repro.cast.cache import FrontendCache, FrontendEntry
 from repro.cast.parser import ParseError, parse
 from repro.cast.rewriter import Rewriter
 from repro.cast.sema import Sema
@@ -44,18 +45,53 @@ class MutatorHang(Exception):
 
 @dataclass
 class ASTContext:
-    """Everything a mutator may query about the program under mutation."""
+    """Everything a mutator may query about the program under mutation.
+
+    Query results are memoized: mutators never modify the AST (all rewriting
+    is textual, via the :class:`~repro.cast.rewriter.Rewriter`), so the node
+    list of a translation unit is immutable for the context's lifetime and a
+    context shared across mutation attempts answers repeat queries without
+    re-walking the tree.
+    """
 
     unit: ast.TranslationUnit
     source: SourceFile
     sema: Sema
 
+    _all_nodes: list[ast.Node] | None = field(default=None, init=False, repr=False)
+    _by_class: dict[tuple, list[ast.Node]] = field(
+        default_factory=dict, init=False, repr=False
+    )
+    _functions: list[ast.FunctionDecl] | None = field(
+        default=None, init=False, repr=False
+    )
+    #: Free-form memo space for derived, immutable query results (parent
+    #: maps, candidate lists).  Values must be pure functions of the unit —
+    #: the context may be shared across mutation attempts and fuzzing steps.
+    memo: dict = field(default_factory=dict, init=False, repr=False)
+
+    def all_nodes(self) -> list[ast.Node]:
+        """The unit's nodes in pre-order (walked once, then memoized)."""
+        if self._all_nodes is None:
+            self._all_nodes = list(self.unit.walk())
+        return self._all_nodes
+
+    def node_count(self) -> int:
+        return len(self.all_nodes())
+
     #: All functions with bodies, in declaration order.
     def function_definitions(self) -> list[ast.FunctionDecl]:
-        return [f for f in self.unit.functions() if f.body is not None]
+        if self._functions is None:
+            self._functions = [f for f in self.unit.functions() if f.body is not None]
+        return list(self._functions)
 
     def nodes_of_class(self, *classes: type) -> list[ast.Node]:
-        return [n for n in self.unit.walk() if isinstance(n, classes)]
+        got = self._by_class.get(classes)
+        if got is None:
+            got = [n for n in self.all_nodes() if isinstance(n, classes)]
+            self._by_class[classes] = got
+        # Callers may reorder/consume the result; hand out a copy.
+        return list(got)
 
 
 class Mutator:
@@ -100,7 +136,7 @@ class Mutator:
         """Traverse the whole translation unit, firing visit_* callbacks."""
         ctx = ctx or self.get_ast_context()
         if isinstance(self, ASTVisitor):
-            self._fuel_tick(sum(1 for _ in ctx.unit.walk()))
+            self._fuel_tick(ctx.node_count())
             ASTVisitor.traverse(self, ctx.unit)
         else:  # pragma: no cover - all mutators mix in ASTVisitor
             raise TypeError("mutator does not mix in ASTVisitor")
@@ -279,11 +315,28 @@ class MutationOutcome:
     error: str | None = None
 
 
+def context_for_entry(entry: FrontendEntry) -> ASTContext:
+    """The shared :class:`ASTContext` for a cached front-end result.
+
+    Memoized on the entry so every mutation attempt against the same parent
+    program shares one context (and hence one set of ``nodes_of_class``
+    memos).  Requires ``entry.compilable``.
+    """
+    ctx = entry.memo.get("muast_ctx")
+    if ctx is None:
+        assert entry.unit is not None and entry.sema is not None
+        ctx = ASTContext(entry.unit, entry.source, entry.sema)
+        entry.memo["muast_ctx"] = ctx
+    return ctx
+
+
 def apply_mutator(
     mutator: Mutator,
     program_text: str,
     *,
     require_parse: bool = True,
+    ctx: ASTContext | None = None,
+    cache: FrontendCache | None = None,
 ) -> MutationOutcome:
     """Bind ``mutator`` to ``program_text``, run it, and collect the mutant.
 
@@ -292,19 +345,37 @@ def apply_mutator(
     Exceptions raised by the mutator propagate: the validation loop and the
     fuzzers interpret :class:`MutatorHang`/other exceptions as goal #2/#3
     violations.
+
+    With ``cache``, the front end of ``program_text`` is looked up in (or
+    inserted into) the shared :class:`FrontendCache` and all attempts on the
+    same text share one parsed unit.  With ``ctx``, the caller supplies a
+    ready-made context and the front end is skipped entirely; the caller
+    vouches that ``ctx.source.text == program_text`` and that it compiles.
     """
-    source = SourceFile(program_text)
-    try:
-        unit = parse(program_text)
-    except (ParseError, RecursionError):
-        if require_parse:
-            return MutationOutcome(False, None, error="input does not parse")
-        raise
-    sema = Sema()
-    diags = sema.analyze(unit)
-    if any(d.severity == "error" for d in diags):
-        return MutationOutcome(False, None, error="input does not compile")
-    ctx = ASTContext(unit, source, sema)
+    if ctx is None and cache is not None:
+        entry = cache.front_end(program_text)
+        if entry.unit is None:
+            if require_parse:
+                return MutationOutcome(False, None, error="input does not parse")
+            if entry.parse_recursion:
+                raise RecursionError(entry.parse_error)
+            raise ParseError(entry.parse_error or "input does not parse")
+        if entry.error_diagnostics:
+            return MutationOutcome(False, None, error="input does not compile")
+        ctx = context_for_entry(entry)
+    if ctx is None:
+        source = SourceFile(program_text)
+        try:
+            unit = parse(program_text)
+        except (ParseError, RecursionError):
+            if require_parse:
+                return MutationOutcome(False, None, error="input does not parse")
+            raise
+        sema = Sema()
+        diags = sema.analyze(unit)
+        if any(d.severity == "error" for d in diags):
+            return MutationOutcome(False, None, error="input does not compile")
+        ctx = ASTContext(unit, source, sema)
     mutator.bind(ctx)
     changed = mutator.mutate()
     if not changed:

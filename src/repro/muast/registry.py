@@ -46,6 +46,8 @@ class MutatorRegistry:
 
     def __init__(self) -> None:
         self._by_name: dict[str, MutatorInfo] = {}
+        #: Memoized query results; any ``register`` invalidates them.
+        self._query_cache: dict[tuple, list] = {}
 
     def register(self, info: MutatorInfo) -> None:
         if info.name in self._by_name:
@@ -55,6 +57,15 @@ class MutatorRegistry:
         if info.origin not in ORIGINS:
             raise ValueError(f"unknown origin {info.origin!r}")
         self._by_name[info.name] = info
+        self._query_cache.clear()
+
+    def _cached_query(self, key: tuple, compute) -> list:
+        got = self._query_cache.get(key)
+        if got is None:
+            got = compute()
+            self._query_cache[key] = got
+        # Callers may reorder/mutate the result; hand out a copy.
+        return list(got)
 
     def __len__(self) -> int:
         return len(self._by_name)
@@ -69,13 +80,19 @@ class MutatorRegistry:
         return self._by_name[name]
 
     def names(self) -> list[str]:
-        return sorted(self._by_name)
+        return self._cached_query(("names",), lambda: sorted(self._by_name))
 
     def by_origin(self, origin: str) -> list[MutatorInfo]:
-        return [m for m in self._by_name.values() if m.origin == origin]
+        return self._cached_query(
+            ("origin", origin),
+            lambda: [m for m in self._by_name.values() if m.origin == origin],
+        )
 
     def by_category(self, category: str) -> list[MutatorInfo]:
-        return [m for m in self._by_name.values() if m.category == category]
+        return self._cached_query(
+            ("category", category),
+            lambda: [m for m in self._by_name.values() if m.category == category],
+        )
 
     def supervised(self) -> list[MutatorInfo]:
         return self.by_origin("supervised")

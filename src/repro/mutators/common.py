@@ -36,13 +36,17 @@ def scalar_typed(expr: ast.Expr) -> bool:
 
 def condition_exprs(m: Mutator) -> list[ast.Expr]:
     """Conditions of if/while/do/for statements (never case labels)."""
-    conds: list[ast.Expr] = []
-    for node in m.get_ast_context().unit.walk():
-        if isinstance(node, (ast.IfStmt, ast.WhileStmt, ast.DoStmt)):
-            conds.append(node.cond)
-        elif isinstance(node, ast.ForStmt) and node.cond is not None:
-            conds.append(node.cond)
-    return conds
+    ctx = m.get_ast_context()
+    conds: list[ast.Expr] | None = ctx.memo.get("condition_exprs")
+    if conds is None:
+        conds = []
+        for node in ctx.all_nodes():
+            if isinstance(node, (ast.IfStmt, ast.WhileStmt, ast.DoStmt)):
+                conds.append(node.cond)
+            elif isinstance(node, ast.ForStmt) and node.cond is not None:
+                conds.append(node.cond)
+        ctx.memo["condition_exprs"] = conds
+    return list(conds)
 
 
 def mutable_scalar_refs(m: Mutator) -> list[ast.DeclRefExpr]:
@@ -130,6 +134,20 @@ def parent_map(unit: ast.TranslationUnit) -> dict[int, ast.Node]:
     return parents
 
 
+def shared_parent_map(m: Mutator) -> dict[int, ast.Node]:
+    """The unit's parent map, memoized on the shared AST context.
+
+    Consumers only look nodes up; the cached dict is handed out directly so
+    repeat calls within (and across) mutation attempts cost nothing.
+    """
+    ctx = m.get_ast_context()
+    parents: dict[int, ast.Node] | None = ctx.memo.get("parent_map")
+    if parents is None:
+        parents = parent_map(ctx.unit)
+        ctx.memo["parent_map"] = parents
+    return parents
+
+
 def _constant_context_roots(unit: ast.TranslationUnit) -> list[ast.Node]:
     """Expressions that must remain integer constant expressions."""
     roots: list[ast.Node] = []
@@ -152,13 +170,17 @@ def replaceable_rvalue_exprs(m: Mutator) -> list[ast.Expr]:
     (case labels, enumerator values), where substituting a general expression
     would not compile.
     """
-    unit = m.get_ast_context().unit
-    parents = parent_map(unit)
+    ctx = m.get_ast_context()
+    cached: list[ast.Expr] | None = ctx.memo.get("replaceable_rvalue_exprs")
+    if cached is not None:
+        return list(cached)
+    unit = ctx.unit
+    parents = shared_parent_map(m)
     protected: set[int] = set()
     for root in _constant_context_roots(unit):
         for n in root.walk():
             protected.add(id(n))
-    for node in unit.walk():
+    for node in ctx.all_nodes():
         if isinstance(node, ast.BinaryOperator) and node.is_assignment:
             protected.add(id(node.lhs))
         elif isinstance(node, ast.UnaryOperator) and node.op in ("&", "++", "--"):
@@ -175,7 +197,7 @@ def replaceable_rvalue_exprs(m: Mutator) -> list[ast.Expr]:
                 protected.add(id(child))
     # Protection is transitive through ParenExpr (``(&(x))``-style operands).
     out: list[ast.Expr] = []
-    for node in unit.walk():
+    for node in ctx.all_nodes():
         if not isinstance(node, ast.Expr) or node.type is None:
             continue
         if isinstance(node, (ast.InitListExpr, ast.StringLiteral)):
@@ -192,7 +214,8 @@ def replaceable_rvalue_exprs(m: Mutator) -> list[ast.Expr]:
             probe = parent
         if not blocked:
             out.append(node)
-    return out
+    ctx.memo["replaceable_rvalue_exprs"] = out
+    return list(out)
 
 
 def statement_level_incdec(m: Mutator) -> list[ast.UnaryOperator]:

@@ -138,50 +138,67 @@ class InverseUnaryOperator(Mutator, ASTVisitor):
 )
 class CopyExpr(Mutator, ASTVisitor):
     def mutate(self) -> bool:
-        targets = [e for e in replaceable_rvalue_exprs(self) if e.type is not None]
-        if not targets:
+        instances = self._instances()
+        if not instances:
             return False
+        tgt, src = self.rand_element(instances)
+        return self.replace_text(tgt.range, self.get_source_text(src))
+
+    def _instances(self) -> list[tuple[ast.Expr, ast.Expr]]:
+        """All (target, source) pairs, memoized on the shared context.
+
+        The pair set is a pure function of the unit; the pair loop memoizes
+        type-compatibility verdicts per ``(target type, source type)`` object
+        pair, which collapses the O(targets × sources) ``assignable`` cost to
+        one check per distinct type pair.
+        """
+        ctx = self.get_ast_context()
+        cached = ctx.memo.get("CopyExpr.instances")
+        if cached is not None:
+            return cached
+        targets = [e for e in replaceable_rvalue_exprs(self) if e.type is not None]
         sources = [
-            e
-            for e in self.get_ast_context().unit.walk()
-            if isinstance(e, ast.Expr)
-            and e.type is not None
-            and self._source_is_portable(e)
+            (e, e.type.decayed())
+            for e in ctx.nodes_of_class(ast.Expr)
+            if e.type is not None and self._source_is_portable(e)
         ]
         index_ids = {
-            id(n.index)
-            for n in self.get_ast_context().unit.walk()
-            if isinstance(n, ast.ArraySubscriptExpr)
+            id(n.index) for n in ctx.nodes_of_class(ast.ArraySubscriptExpr)
         }
         # Initializers of array-typed variables must stay string literals /
         # braces — a copied pointer expression would not compile there.
         array_init_ids = {
             id(n.init)
-            for n in self.get_ast_context().unit.walk()
-            if isinstance(n, ast.VarDecl)
-            and n.init is not None
-            and n.type.is_array()
+            for n in ctx.nodes_of_class(ast.VarDecl)
+            if n.init is not None and n.type.is_array()
         }
-        instances = []
+        sources = [(e, dec, dec.is_integer()) for e, dec in sources]
+        compat: dict[tuple[int, int], bool] = {}
+        instances: list[tuple[ast.Expr, ast.Expr]] = []
         for tgt in targets:
-            for src in sources:
+            if id(tgt) in array_init_ids:
+                continue
+            tgt_decayed = tgt.type.decayed()
+            tgt_key = id(tgt.type)
+            tgt_indexed = id(tgt) in index_ids
+            for src, src_decayed, src_integer in sources:
                 if src is tgt or src.range == tgt.range:
                     continue
-                if src.type is None or tgt.type is None:
+                key = (tgt_key, id(src.type))
+                ok = compat.get(key)
+                if ok is None:
+                    # Compare decayed types: copying an array-typed global
+                    # over a string-literal argument is the paper's
+                    # sprintf/strlen case.
+                    ok = ct.assignable(tgt_decayed, src_decayed)
+                    compat[key] = ok
+                if not ok:
                     continue
-                if id(tgt) in array_init_ids:
-                    continue
-                # Compare decayed types: copying an array-typed global over a
-                # string-literal argument is the paper's sprintf/strlen case.
-                if not ct.assignable(tgt.type.decayed(), src.type.decayed()):
-                    continue
-                if id(tgt) in index_ids and not src.type.decayed().is_integer():
+                if tgt_indexed and not src_integer:
                     continue  # array subscripts must stay integers
                 instances.append((tgt, src))
-        if not instances:
-            return False
-        tgt, src = self.rand_element(instances)
-        return self.replace_text(tgt.range, self.get_source_text(src))
+        ctx.memo["CopyExpr.instances"] = instances
+        return instances
 
     def _source_is_portable(self, expr: ast.Expr) -> bool:
         """A source expression that stays valid at any program point."""

@@ -16,7 +16,7 @@ from repro.mutators.common import (
     call_sites_of,
     contains_label_or_case,
     loose_breaks,
-    parent_map,
+    shared_parent_map,
     references_only_globals,
 )
 
@@ -111,7 +111,7 @@ class ModifyFunctionReturnTypeToVoid(Mutator, ASTVisitor):
 )
 class SimpleUninliner(Mutator, ASTVisitor):
     def mutate(self) -> bool:
-        parents = parent_map(self.get_ast_context().unit)
+        parents = shared_parent_map(self)
         candidates = []
         for block in self.collect(ast.CompoundStmt):
             assert isinstance(block, ast.CompoundStmt)

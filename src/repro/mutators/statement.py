@@ -14,7 +14,7 @@ from repro.mutators.common import (
     contains_label_or_case,
     is_removable_stmt,
     loose_breaks,
-    parent_map,
+    shared_parent_map,
     safe_to_copy,
 )
 
@@ -743,7 +743,7 @@ class InsertLabelNoop(Mutator, ASTVisitor):
 )
 class CompoundToSingleStmt(Mutator, ASTVisitor):
     def mutate(self) -> bool:
-        parents = parent_map(self.get_ast_context().unit)
+        parents = shared_parent_map(self)
         candidates = []
         for block in _compound_stmts(self):
             if len(block.stmts) != 1:

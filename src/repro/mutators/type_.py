@@ -10,7 +10,7 @@ from __future__ import annotations
 from repro.cast import ast_nodes as ast
 from repro.cast import types as ct
 from repro.muast import ASTVisitor, Mutator, register_mutator
-from repro.mutators.common import parent_map
+from repro.mutators.common import shared_parent_map
 from repro.mutators.variable import (
     _global_var_decls,
     _is_address_taken,
@@ -58,7 +58,7 @@ class ChangeIntSignedness(Mutator, ASTVisitor):
 class ReduceArrayDimension(Mutator, ASTVisitor):
     def mutate(self) -> bool:
         source = self.get_ast_context().source
-        parents = parent_map(self.get_ast_context().unit)
+        parents = shared_parent_map(self)
         instances = []
         for d in _global_var_decls(self):
             if not d.type.is_array() or d.init is not None or d.type.const:

@@ -12,7 +12,7 @@ from repro.cast import types as ct
 from repro.cast.sema import fold_int
 from repro.cast.source import SourceRange
 from repro.muast import ASTVisitor, Mutator, register_mutator
-from repro.mutators.common import parent_map, replaceable_rvalue_exprs
+from repro.mutators.common import replaceable_rvalue_exprs, shared_parent_map
 
 
 def _refs_to(m: Mutator, decl: ast.Decl) -> list[ast.DeclRefExpr]:
@@ -37,7 +37,7 @@ def _global_var_decls(m: Mutator) -> list[ast.VarDecl]:
 
 def _single_decl_stmts(m: Mutator) -> list[tuple[ast.DeclStmt, ast.VarDecl]]:
     """DeclStmts holding exactly one VarDecl, directly inside a block."""
-    parents = parent_map(m.get_ast_context().unit)
+    parents = shared_parent_map(m)
     out = []
     for stmt in m.collect(ast.DeclStmt):
         assert isinstance(stmt, ast.DeclStmt)
