@@ -6,6 +6,12 @@ from repro.fuzzing.seedgen import generate_seeds
 from repro.fuzzing.mucfuzz import MuCFuzz
 from repro.fuzzing.macro import MacroFuzzer
 from repro.fuzzing.campaign import Campaign, CampaignResult, run_campaign
+from repro.fuzzing.parallel import (
+    CellOutcome,
+    CellSpec,
+    run_cells,
+    run_cells_resilient,
+)
 
 __all__ = [
     "Corpus",
@@ -16,4 +22,8 @@ __all__ = [
     "Campaign",
     "CampaignResult",
     "run_campaign",
+    "CellOutcome",
+    "CellSpec",
+    "run_cells",
+    "run_cells_resilient",
 ]

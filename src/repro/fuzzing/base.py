@@ -42,13 +42,20 @@ class Fuzzer:
         self.coverage = CoverageMap()
         #: Cumulative execution counters; subclasses add their own keys.
         self.stats: dict = {}
+        #: Optional per-mutator circuit breaker
+        #: (:class:`repro.resilience.circuit.MutatorQuarantine`); fuzzers
+        #: that apply mutators consult and feed it.
+        self.quarantine = None
 
     def step(self) -> StepResult:
         raise NotImplementedError
 
     def stats_snapshot(self) -> dict:
         """A copy of the cumulative stats, for campaign reporting."""
-        return dict(self.stats)
+        snap = dict(self.stats)
+        if self.quarantine is not None:
+            snap.update(self.quarantine.stats())
+        return snap
 
     def observe(self, step: StepResult) -> None:
         """Default coverage accounting (after the campaign recorded it)."""

@@ -9,10 +9,12 @@ trends that Figures 7 and 9 plot.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.compiler.driver import Compiler
 from repro.muast.registry import MutatorRegistry, global_registry
+from repro.resilience.circuit import MutatorQuarantine
+from repro.resilience.faultinject import CellFault
 
 # Importing the library populates the global registry with all 118 mutators.
 import repro.mutators  # noqa: F401  (registration side effect)
@@ -20,7 +22,13 @@ from repro.fuzzing.base import Fuzzer
 from repro.fuzzing.baselines import AFLPlusPlus, CsmithSim, GrayCSim, YarpGenSim
 from repro.fuzzing.crash import CrashLog
 from repro.fuzzing.mucfuzz import MuCFuzz
-from repro.fuzzing.parallel import CellSpec, run_cells, stable_cell_seed
+from repro.fuzzing.parallel import (
+    CellOutcome,
+    CellSpec,
+    run_cells,
+    run_cells_resilient,
+    stable_cell_seed,
+)
 
 FUZZER_NAMES = ("uCFuzz.s", "uCFuzz.u", "AFL++", "GrayC", "Csmith", "YARPGen")
 
@@ -52,6 +60,39 @@ class CampaignResult:
     def crash_trend(self) -> list[tuple[float, int]]:
         return self.crashes.timeline()
 
+    # -- checkpoint serialization (campaign resume) -----------------------
+
+    def to_json(self) -> dict:
+        return {
+            "fuzzer": self.fuzzer,
+            "compiler": self.compiler,
+            "steps": self.steps,
+            "virtual_hours": self.virtual_hours,
+            "coverage_trend": [[hour, edges] for hour, edges in self.coverage_trend],
+            "crashes": self.crashes.to_json(),
+            "compiled": self.compiled,
+            "total": self.total,
+            "throughput_total": self.throughput_total,
+            "stats": self.stats,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "CampaignResult":
+        return cls(
+            fuzzer=payload["fuzzer"],
+            compiler=payload["compiler"],
+            steps=payload["steps"],
+            virtual_hours=payload["virtual_hours"],
+            coverage_trend=[
+                (hour, edges) for hour, edges in payload["coverage_trend"]
+            ],
+            crashes=CrashLog.from_json(payload["crashes"]),
+            compiled=payload["compiled"],
+            total=payload["total"],
+            throughput_total=payload["throughput_total"],
+            stats=payload["stats"],
+        )
+
 
 def make_fuzzer(
     name: str,
@@ -59,12 +100,24 @@ def make_fuzzer(
     seeds: list[str],
     registry: MutatorRegistry,
     rng: random.Random,
+    quarantine_threshold: int | None = None,
 ) -> Fuzzer:
     """Instantiate one of the six evaluated fuzzers by its paper name."""
+    quarantine = (
+        MutatorQuarantine(quarantine_threshold)
+        if quarantine_threshold is not None
+        else None
+    )
     if name == "uCFuzz.s":
-        return MuCFuzz(compiler, rng, seeds, registry.supervised(), name=name)
+        return MuCFuzz(
+            compiler, rng, seeds, registry.supervised(), name=name,
+            quarantine=quarantine,
+        )
     if name == "uCFuzz.u":
-        return MuCFuzz(compiler, rng, seeds, registry.unsupervised(), name=name)
+        return MuCFuzz(
+            compiler, rng, seeds, registry.unsupervised(), name=name,
+            quarantine=quarantine,
+        )
     if name == "AFL++":
         return AFLPlusPlus(compiler, rng, seeds)
     if name == "GrayC":
@@ -114,6 +167,47 @@ class Campaign:
     registry: MutatorRegistry
     steps: int = 600
     base_seed: int = 2024
+    quarantine_threshold: int | None = None
+
+    def cell_specs(
+        self,
+        fuzzer_names: tuple[str, ...] = FUZZER_NAMES,
+        faults: "dict | None" = None,
+    ) -> list[CellSpec]:
+        """The grid's cell specs, in stable (compiler-major) order.
+
+        ``faults`` (test/CI-only) maps a fuzzer name, or a
+        ``(fuzzer_name, personality)`` pair, to the :class:`CellFault` to
+        inject into that cell.
+        """
+        registry = self.registry if self.registry is not global_registry else None
+        specs = [
+            CellSpec(
+                fuzzer_name=name,
+                personality=compiler.personality,
+                version=compiler.version,
+                bug_seed=compiler.bug_seed,
+                seeds=tuple(self.seeds),
+                steps=self.steps,
+                cell_seed=stable_cell_seed(name, compiler.name, self.base_seed),
+                registry=registry,
+                quarantine_threshold=self.quarantine_threshold,
+            )
+            for compiler in self.compilers
+            for name in fuzzer_names
+        ]
+        if faults:
+            specs = [
+                replace(
+                    spec,
+                    fault=(
+                        faults.get((spec.fuzzer_name, spec.personality))
+                        or faults.get(spec.fuzzer_name)
+                    ),
+                )
+                for spec in specs
+            ]
+        return specs
 
     def run(
         self,
@@ -128,19 +222,30 @@ class Campaign:
         an identical :class:`CellSpec`, so ``parallelism=N`` returns the
         same results as ``parallelism=1``, in the same stable order.
         """
-        registry = self.registry if self.registry is not global_registry else None
-        specs = [
-            CellSpec(
-                fuzzer_name=name,
-                personality=compiler.personality,
-                version=compiler.version,
-                bug_seed=compiler.bug_seed,
-                seeds=tuple(self.seeds),
-                steps=self.steps,
-                cell_seed=stable_cell_seed(name, compiler.name, self.base_seed),
-                registry=registry,
-            )
-            for compiler in self.compilers
-            for name in fuzzer_names
-        ]
-        return run_cells(specs, parallelism)
+        return run_cells(self.cell_specs(fuzzer_names), parallelism)
+
+    def run_resilient(
+        self,
+        fuzzer_names: tuple[str, ...] = FUZZER_NAMES,
+        parallelism: int = 1,
+        *,
+        cell_timeout: float | None = None,
+        cell_retries: int = 1,
+        checkpoint_dir: str | None = None,
+        faults: "dict[str | tuple[str, str], CellFault] | None" = None,
+    ) -> list[CellOutcome]:
+        """The fault-isolated grid: one :class:`CellOutcome` per cell.
+
+        A crashed, hung, or timed-out cell is retried up to ``cell_retries``
+        times from its identical spec and otherwise lands as a recorded
+        failure; the other cells complete normally.  With
+        ``checkpoint_dir``, finished cells persist as they complete and a
+        rerun skips them (campaign resume).
+        """
+        return run_cells_resilient(
+            self.cell_specs(fuzzer_names, faults),
+            parallelism,
+            cell_timeout=cell_timeout,
+            cell_retries=cell_retries,
+            checkpoint_dir=checkpoint_dir,
+        )

@@ -72,3 +72,34 @@ class CrashLog:
         """(time, cumulative unique crashes) discovery curve."""
         times = sorted(self.first_seen.values())
         return [(t, i + 1) for i, t in enumerate(times)]
+
+    # -- checkpoint serialization (campaign resume) -----------------------
+
+    def to_json(self) -> list[dict]:
+        """A JSON-safe rendering, in discovery (insertion) order."""
+        return [
+            {
+                "frames": [[f.function, f.pc] for f in sig.frames],
+                "bug_id": rec.bug_id,
+                "module": rec.module,
+                "kind": rec.kind,
+                "message": rec.message,
+                "first_seen": self.first_seen[sig],
+                "trigger": self.triggers.get(sig, ""),
+            }
+            for sig, rec in self.records.items()
+        ]
+
+    @classmethod
+    def from_json(cls, rows: list[dict]) -> "CrashLog":
+        log = cls()
+        for row in rows:
+            sig = CrashSignature(
+                tuple(StackFrame(fn, pc) for fn, pc in row["frames"])
+            )
+            log.records[sig] = CrashRecord(
+                sig, row["bug_id"], row["module"], row["kind"], row["message"]
+            )
+            log.first_seen[sig] = row["first_seen"]
+            log.triggers[sig] = row.get("trigger", "")
+        return log

@@ -20,6 +20,7 @@ from repro.compiler.coverage import CoverageMap
 from repro.compiler.driver import Compiler, SAMPLABLE_FLAGS
 from repro.muast.mutator import MutatorCrash, MutatorHang, apply_mutator
 from repro.muast.registry import MutatorInfo
+from repro.resilience.circuit import MutatorQuarantine
 from repro.fuzzing.base import CoverageGuidedFuzzer, StepResult
 
 MAX_MUTANT_BYTES = 64 * 1024  # resource limit (enhancement 4)
@@ -42,6 +43,7 @@ class MacroFuzzer(CoverageGuidedFuzzer):
         *,
         cache: FrontendCache | None = None,
         use_cache: bool = True,
+        quarantine: MutatorQuarantine | None = None,
     ) -> None:
         super().__init__(compiler, rng, seeds)
         self.mutators = list(mutators)
@@ -52,6 +54,7 @@ class MacroFuzzer(CoverageGuidedFuzzer):
         self.cache = cache if cache is not None else (
             FrontendCache() if use_cache else None
         )
+        self.quarantine = quarantine
 
     def sample_options(self) -> tuple[int, tuple[str, ...]]:
         """Enhancement 1: random -O level plus a random flag subset."""
@@ -65,8 +68,15 @@ class MacroFuzzer(CoverageGuidedFuzzer):
         mutant = parent.text
         applied: list[str] = []
         rounds = self.rng.randint(1, MAX_HAVOC_ROUNDS)  # enhancement 2
+        events_before = (
+            len(self.quarantine.events) if self.quarantine is not None else 0
+        )
         for _ in range(rounds):
             info = self.mutators[self.rng.randrange(len(self.mutators))]
+            if self.quarantine is not None and not self.quarantine.allows(
+                info.name
+            ):
+                continue
             mutated = self._mutate(mutant, info)
             if mutated is not None and len(mutated) <= MAX_MUTANT_BYTES:
                 mutant = mutated
@@ -81,14 +91,26 @@ class MacroFuzzer(CoverageGuidedFuzzer):
                 mutant, result, parent, "+".join(applied)
             )
         self.coverage.merge(result.coverage)
-        return StepResult(
+        step = StepResult(
             mutant, result, kept=kept, mutator="+".join(applied) or None
         )
+        if self.quarantine is not None:
+            step.stats = {
+                "quarantined": [
+                    event.mutator
+                    for event in self.quarantine.events[events_before:]
+                ]
+            }
+        return step
 
     def _mutate(self, text: str, info: MutatorInfo) -> str | None:
         mutator = info.create(random.Random(self.rng.randrange(1 << 62)))
         try:
             outcome = apply_mutator(mutator, text, cache=self.cache)
-        except (MutatorCrash, MutatorHang, RecursionError):
+        except (MutatorCrash, MutatorHang, RecursionError) as exc:
+            if self.quarantine is not None:
+                self.quarantine.record_failure(info.name, type(exc).__name__)
             return None
+        if self.quarantine is not None:
+            self.quarantine.record_success(info.name)
         return outcome.mutant_text if outcome.changed else None

@@ -19,6 +19,7 @@ from repro.cast.cache import FrontendCache
 from repro.compiler.driver import Compiler
 from repro.muast.mutator import MutatorCrash, MutatorHang, apply_mutator
 from repro.muast.registry import MutatorInfo
+from repro.resilience.circuit import MutatorQuarantine
 from repro.fuzzing.base import CoverageGuidedFuzzer, StepResult
 
 #: How many mutators of the shuffled list one iteration may try before
@@ -41,6 +42,7 @@ class MuCFuzz(CoverageGuidedFuzzer):
         *,
         cache: FrontendCache | None = None,
         use_cache: bool = True,
+        quarantine: MutatorQuarantine | None = None,
     ) -> None:
         super().__init__(compiler, rng, seeds)
         self.mutators = list(mutators)
@@ -48,6 +50,7 @@ class MuCFuzz(CoverageGuidedFuzzer):
         self.cache = cache if cache is not None else (
             FrontendCache() if use_cache else None
         )
+        self.quarantine = quarantine
         self.stats = {
             "steps": 0,
             "attempts": 0,
@@ -56,7 +59,7 @@ class MuCFuzz(CoverageGuidedFuzzer):
         }
 
     def stats_snapshot(self) -> dict:
-        snap = dict(self.stats)
+        snap = super().stats_snapshot()
         if self.cache is not None:
             snap.update(self.cache.stats())
         steps = snap.get("steps", 0)
@@ -69,11 +72,20 @@ class MuCFuzz(CoverageGuidedFuzzer):
             (self.cache.hits, self.cache.misses) if self.cache is not None else (0, 0)
         )
         attempts_before = self.stats["attempts"]
+        events_before = (
+            len(self.quarantine.events) if self.quarantine is not None else 0
+        )
         parent = self.pool.random_choice(self.rng)
         order = list(self.mutators)
         self.rng.shuffle(order)
         last: StepResult | None = None
         for info in order[:MAX_TRIES_PER_ITERATION]:
+            if self.quarantine is not None and not self.quarantine.allows(
+                info.name
+            ):
+                self.stats.setdefault("quarantine_skips", 0)
+                self.stats["quarantine_skips"] += 1
+                continue
             self.stats["attempts"] += 1
             mutant = self._mutate(parent.text, info)
             if mutant is None or mutant == parent.text:
@@ -84,9 +96,9 @@ class MuCFuzz(CoverageGuidedFuzzer):
             self.coverage.merge(result.coverage)
             last = StepResult(mutant, result, kept=kept, mutator=info.name)
             if kept or result.crashed:
-                return self._finish(last, attempts_before, cache_before)
+                return self._finish(last, attempts_before, cache_before, events_before)
         if last is not None:
-            return self._finish(last, attempts_before, cache_before)
+            return self._finish(last, attempts_before, cache_before, events_before)
         # Nothing mutated this round; recompile the parent (a no-op round).
         result = self.compiler.compile(parent.text, cache=self.cache)
         self.coverage.merge(result.coverage)
@@ -94,6 +106,7 @@ class MuCFuzz(CoverageGuidedFuzzer):
             StepResult(parent.text, result, kept=False, mutator=None),
             attempts_before,
             cache_before,
+            events_before,
         )
 
     def _finish(
@@ -101,20 +114,30 @@ class MuCFuzz(CoverageGuidedFuzzer):
         step: StepResult,
         attempts_before: int,
         cache_before: tuple[int, int],
+        events_before: int = 0,
     ) -> StepResult:
         step.stats = {"attempts": self.stats["attempts"] - attempts_before}
         if self.cache is not None:
             step.stats["cache_hits"] = self.cache.hits - cache_before[0]
             step.stats["cache_misses"] = self.cache.misses - cache_before[1]
+        if self.quarantine is not None:
+            step.stats["quarantined"] = [
+                event.mutator
+                for event in self.quarantine.events[events_before:]
+            ]
         return step
 
     def _mutate(self, text: str, info: MutatorInfo) -> str | None:
         mutator = info.create(random.Random(self.rng.randrange(1 << 62)))
         try:
             outcome = apply_mutator(mutator, text, cache=self.cache)
-        except (MutatorCrash, MutatorHang, RecursionError):
+        except (MutatorCrash, MutatorHang, RecursionError) as exc:
             self.stats["mutator_failures"] += 1
+            if self.quarantine is not None:
+                self.quarantine.record_failure(info.name, type(exc).__name__)
             return None
+        if self.quarantine is not None:
+            self.quarantine.record_success(info.name)
         if not outcome.changed:
             return None
         return outcome.mutant_text

@@ -8,13 +8,16 @@ invented, how often first-draft implementations carry which classes of bugs
 and how often the API itself fails (24 of 100 unsupervised invocations).
 """
 
-from repro.llm.client import APIError, LLMClient
+from repro.llm.client import APIError, ChatUsage, LLMClient
 from repro.llm.costs import CostLedger, MutatorCost, StageCost
 from repro.llm.faults import Fault, FaultKind, sample_faults
 from repro.llm.model import SimulatedLLM
+from repro.resilience.retry import RetryPolicy
 
 __all__ = [
     "APIError",
+    "ChatUsage",
+    "RetryPolicy",
     "LLMClient",
     "CostLedger",
     "MutatorCost",

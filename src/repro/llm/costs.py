@@ -63,6 +63,23 @@ class MutatorCost:
     bugfix: StageCost = field(default_factory=StageCost)
     wait_seconds: list[float] = field(default_factory=list)
     prepare_seconds: list[float] = field(default_factory=list)
+    #: Throttled attempts absorbed by the retry policy, and the virtual
+    #: seconds spent backing off before each eventual success.  Kept out of
+    #: ``wait_seconds`` so Table 3's wait/prepare distributions stay pure;
+    #: stage ``seconds`` totals include backoff so wall time stays honest.
+    retries: int = 0
+    backoff_seconds: list[float] = field(default_factory=list)
+
+    def record_transport(self, usage) -> None:
+        """Per-request latency/retry accounting shared by every stage."""
+        self.wait_seconds.append(usage.wait_seconds)
+        self.retries += usage.retries
+        if usage.backoff_seconds:
+            self.backoff_seconds.append(usage.backoff_seconds)
+
+    @property
+    def total_backoff_seconds(self) -> float:
+        return sum(self.backoff_seconds)
 
     @property
     def total_tokens(self) -> int:
@@ -150,6 +167,16 @@ class CostLedger:
         return {
             "Wait for Response (s)": self.summarize(waits),
             "Prepare for Request (s)": self.summarize(prepares),
+        }
+
+    def retry_stats(self) -> dict[str, float]:
+        """Campaign-wide retry/backoff accounting (resilience layer)."""
+        return {
+            "retries": sum(r.retries for r in self.records),
+            "backoff_seconds": sum(
+                r.total_backoff_seconds for r in self.records
+            ),
+            "retried_mutators": sum(1 for r in self.records if r.retries),
         }
 
     def mean_usd(self) -> float:

@@ -22,6 +22,6 @@ def invent_mutator(
     assert prompt  # rendered for logs; the simulated model reads the
     # hints structurally rather than re-parsing natural language
     invention, usage = client.invent(rng, previously_generated, origin)
-    cost.invention.add(usage.tokens, usage.wait_seconds, rounds=1)
-    cost.wait_seconds.append(usage.wait_seconds)
+    cost.invention.add(usage.tokens, usage.total_seconds, rounds=1)
+    cost.record_transport(usage)
     return invention

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.llm.client import APIError, LLMClient
 from repro.llm.costs import CostLedger, MutatorCost
+from repro.resilience.retry import RetryPolicy
 from repro.llm.model import Implementation, Invention, SimulatedLLM
 from repro.metamut.invention import invent_mutator
 from repro.metamut.refinement import RefinementOutcome, refine
@@ -57,6 +58,23 @@ class UnsupervisedCampaign:
         return sum(1 for r in self.records if r.status != "api_error")
 
     @property
+    def completion_rate(self) -> float:
+        return self.completed / len(self.records) if self.records else 0.0
+
+    @property
+    def total_retries(self) -> int:
+        """Throttles absorbed by the retry policy, across all invocations."""
+        return sum(r.cost.retries for r in self.records if r.cost is not None)
+
+    @property
+    def total_backoff_seconds(self) -> float:
+        return sum(
+            r.cost.total_backoff_seconds
+            for r in self.records
+            if r.cost is not None
+        )
+
+    @property
     def valid(self) -> list[GenerationRecord]:
         return [r for r in self.records if r.status == "valid"]
 
@@ -88,9 +106,14 @@ class MetaMut:
         self,
         client: LLMClient | None = None,
         registry: MutatorRegistry | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.registry = registry or global_registry
-        self.client = client or LLMClient(SimulatedLLM(self.registry))
+        if client is None:
+            client = LLMClient(
+                SimulatedLLM(self.registry), retry_policy=retry_policy
+            )
+        self.client = client
 
     # ------------------------------------------------------------------
 

@@ -29,6 +29,9 @@ class RefinementOutcome:
     #: Goal-category → count of bugs the loop fixed (Table 1 rows).
     fixed: Counter = field(default_factory=Counter)
     last_report: ValidationReport | None = None
+    #: Exception-type → occurrences observed while validating (the
+    #: fault-category census behind goals #2/#3 failures).
+    fault_census: Counter = field(default_factory=Counter)
 
 
 def refine(
@@ -48,6 +51,8 @@ def refine(
         report = validate_implementation(outcome.implementation, tests, rng)
         outcome.last_report = report
         outcome.rounds += 1
+        if report.fault_type:
+            outcome.fault_census[report.fault_type] += 1
         cost.prepare_seconds.append(prepare)
         if report.passed:
             # One confirmation round is still an LLM round (the validated
@@ -61,8 +66,8 @@ def refine(
         assert prompt  # rendered for fidelity; consumed structurally
         before = list(outcome.implementation.faults)
         fixed_impl, usage = client.fix(rng, outcome.implementation, report.goal)
-        cost.bugfix.add(usage.tokens, usage.wait_seconds + prepare, rounds=1)
-        cost.wait_seconds.append(usage.wait_seconds)
+        cost.bugfix.add(usage.tokens, usage.total_seconds + prepare, rounds=1)
+        cost.record_transport(usage)
         if len(fixed_impl.faults) < len(before):
             outcome.fixed[report.goal] += 1
         outcome.implementation = fixed_impl

@@ -20,8 +20,8 @@ def synthesize_implementation(
     prompt = synthesis_prompt(invention.name, invention.description)
     assert prompt  # rendered for fidelity; consumed structurally
     impl, usage = client.synthesize(rng, invention)
-    cost.implementation.add(usage.tokens, usage.wait_seconds, rounds=1)
-    cost.wait_seconds.append(usage.wait_seconds)
+    cost.implementation.add(usage.tokens, usage.total_seconds, rounds=1)
+    cost.record_transport(usage)
     return impl
 
 
@@ -35,6 +35,6 @@ def generate_unit_tests(
     prompt = testgen_prompt(invention.name, invention.description)
     assert prompt  # rendered for fidelity; consumed structurally
     tests, usage = client.generate_tests(rng, invention)
-    cost.bugfix.add(usage.tokens, usage.wait_seconds, rounds=0)
-    cost.wait_seconds.append(usage.wait_seconds)
+    cost.bugfix.add(usage.tokens, usage.total_seconds, rounds=0)
+    cost.record_transport(usage)
     return tests

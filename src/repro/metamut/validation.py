@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from repro.cast.parser import ParseError, parse
 from repro.cast.sema import Sema
 from repro.llm.model import Implementation
-from repro.muast.mutator import MutatorCrash, MutatorHang, apply_mutator
+from repro.muast.mutator import MutatorHang, apply_mutator
 
 #: RNG retries per test program — mutators select instances randomly, so one
 #: unlucky draw must not count as "outputs nothing".
@@ -32,6 +32,9 @@ class ValidationReport:
     goal: int | None  # None = all goals met
     case: int = 0
     detail: str = ""
+    #: For goals #2/#3: the exception type the mutator raised, feeding the
+    #: refinement loop's fault-category census.
+    fault_type: str = ""
 
     @property
     def passed(self) -> bool:
@@ -69,11 +72,17 @@ def validate_implementation(
             try:
                 outcome = apply_mutator(mutator, program)
             except MutatorHang as exc:  # goal #2
-                return ValidationReport(2, case, str(exc))
-            except (MutatorCrash, Exception) as exc:  # goal #3
-                if isinstance(exc, MutatorHang):  # pragma: no cover
-                    raise
-                return ValidationReport(3, case, f"{type(exc).__name__}: {exc}")
+                return ValidationReport(
+                    2, case, str(exc), fault_type=type(exc).__name__
+                )
+            except Exception as exc:  # goal #3: any unhandled exception,
+                # MutatorCrash or otherwise, is observed as a crash
+                return ValidationReport(
+                    3,
+                    case,
+                    f"{type(exc).__name__}: {exc}",
+                    fault_type=type(exc).__name__,
+                )
             if not outcome.changed:
                 continue
             produced_any = True

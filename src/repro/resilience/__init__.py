@@ -1,0 +1,35 @@
+"""Cross-cutting fault tolerance: retry/backoff, quarantine, checkpoints.
+
+The paper's pipeline loses 24 of 100 unsupervised invocations to API
+throttling (§4) and runs 60 parallel fuzzer instances for 24 hours per
+cell — at that scale transient faults are the common case, not the
+exception.  This package provides the primitives every long-running entry
+point shares:
+
+* :mod:`repro.resilience.retry` — a deterministic exponential-backoff
+  retry policy on the *virtual* clock (seeded jitter, bounded budget);
+* :mod:`repro.resilience.circuit` — a per-mutator circuit breaker that
+  quarantines mutators which crash/hang repeatedly;
+* :mod:`repro.resilience.checkpoint` — an atomic JSON-per-key store used
+  for campaign checkpoint/resume;
+* :mod:`repro.resilience.faultinject` — picklable fault plans for
+  exercising the above in tests and CI smoke jobs.
+
+Nothing here imports from the higher layers (llm/metamut/fuzzing), so any
+of them can depend on it without cycles.
+"""
+
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.circuit import MutatorQuarantine, QuarantineEvent
+from repro.resilience.faultinject import CellFault, InjectedCellFault
+from repro.resilience.retry import RetryPolicy, run_with_retry
+
+__all__ = [
+    "CheckpointStore",
+    "MutatorQuarantine",
+    "QuarantineEvent",
+    "CellFault",
+    "InjectedCellFault",
+    "RetryPolicy",
+    "run_with_retry",
+]

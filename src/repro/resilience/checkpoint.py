@@ -1,0 +1,58 @@
+"""An atomic JSON-per-key checkpoint store.
+
+Campaigns persist each finished cell as one ``<key>.json`` file; a restart
+loads the files that exist and reruns only the missing cells.  Writes go
+through a temp file + ``os.replace`` so a kill mid-write can never leave a
+truncated checkpoint — a corrupt or unreadable file is treated as absent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+
+_SAFE_KEY = re.compile(r"[^A-Za-z0-9._+-]")
+
+
+def sanitize_key(key: str) -> str:
+    """A filesystem-safe version of ``key`` (used as the file stem)."""
+    return _SAFE_KEY.sub("_", key)
+
+
+class CheckpointStore:
+    """Maps string keys to JSON payloads under one directory."""
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{sanitize_key(key)}.json"
+
+    def load(self, key: str) -> dict | None:
+        """The stored payload, or None if absent/corrupt."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def save(self, key: str, payload: dict) -> Path:
+        """Atomically persist ``payload`` under ``key``."""
+        path = self.path_for(key)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def keys(self) -> list[str]:
+        return sorted(p.stem for p in self.directory.glob("*.json"))
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return len(self.keys())

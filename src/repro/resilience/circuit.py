@@ -1,0 +1,65 @@
+"""A per-mutator circuit breaker (quarantine).
+
+A generated mutator that crashes or hangs once is noise; one that fails on
+every draw burns the fuzzer's per-iteration timeslice for the whole
+campaign.  The breaker counts *consecutive* failures per mutator and
+quarantines a mutator for the rest of the run once the count reaches the
+threshold; any success resets its count.  All state transitions are pure
+functions of the observed failure sequence, so quarantine decisions are
+deterministic and identical across serial and parallel campaign runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class QuarantineEvent:
+    """One mutator crossing the threshold."""
+
+    mutator: str
+    failures: int
+    reason: str = ""
+
+
+@dataclass
+class MutatorQuarantine:
+    """Consecutive-failure circuit breaker over mutator names."""
+
+    threshold: int = 3
+    events: list[QuarantineEvent] = field(default_factory=list)
+    _consecutive: dict[str, int] = field(default_factory=dict)
+    _quarantined: set[str] = field(default_factory=set)
+
+    def allows(self, name: str) -> bool:
+        """Whether the mutator may still be scheduled."""
+        return name not in self._quarantined
+
+    def record_success(self, name: str) -> None:
+        """A clean application resets the consecutive-failure count."""
+        self._consecutive.pop(name, None)
+
+    def record_failure(self, name: str, reason: str = "") -> bool:
+        """Count one crash/hang; returns True iff this tripped the breaker."""
+        if name in self._quarantined:
+            return False
+        count = self._consecutive.get(name, 0) + 1
+        self._consecutive[name] = count
+        if count < self.threshold:
+            return False
+        self._quarantined.add(name)
+        self.events.append(QuarantineEvent(name, count, reason))
+        return True
+
+    @property
+    def quarantined(self) -> set[str]:
+        return set(self._quarantined)
+
+    def stats(self) -> dict:
+        """Summary for ``StepResult``/``CampaignResult`` stats dicts."""
+        return {
+            "quarantine_threshold": self.threshold,
+            "quarantine_events": len(self.events),
+            "quarantined_mutators": sorted(self._quarantined),
+        }

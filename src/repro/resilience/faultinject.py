@@ -1,0 +1,52 @@
+"""Picklable fault plans for exercising the resilience layer.
+
+A :class:`CellFault` rides along on a campaign ``CellSpec`` and fires
+inside the worker that executes the cell, simulating the three ways a real
+fuzzing worker dies: an unhandled exception, a hard process death (as if
+the kernel OOM-killed it), and a hang.  Faults are keyed on the *attempt*
+number, so a test can make the first attempt fail and the retry succeed —
+which is exactly the scenario the per-cell retry exists for.
+
+``kind="exit"`` and ``kind="hang"`` must only be used with process
+isolation (``parallelism > 1`` or ``cell_timeout`` set): fired in-process
+they would take the caller down, which is the behaviour they simulate.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+
+class InjectedCellFault(RuntimeError):
+    """The exception a ``kind="raise"`` fault throws inside the worker."""
+
+
+@dataclass(frozen=True)
+class CellFault:
+    """A deterministic fault fired by ``run_cell`` before the cell runs.
+
+    ``attempts`` lists the 0-based attempt numbers on which the fault
+    fires; ``None`` means every attempt (a permanently broken cell).
+    """
+
+    kind: str  # "raise" | "exit" | "hang"
+    attempts: tuple[int, ...] | None = (0,)
+    hang_seconds: float = 3600.0
+    exit_code: int = 23
+
+    def fire(self, attempt: int) -> None:
+        if self.attempts is not None and attempt not in self.attempts:
+            return
+        if self.kind == "raise":
+            raise InjectedCellFault(
+                f"injected cell fault (attempt {attempt})"
+            )
+        if self.kind == "exit":
+            # A hard worker death: no exception, no cleanup, no message.
+            os._exit(self.exit_code)
+        if self.kind == "hang":
+            time.sleep(self.hang_seconds)
+            return
+        raise ValueError(f"unknown fault kind {self.kind!r}")

@@ -1,0 +1,73 @@
+"""Deterministic retry with exponential backoff and seeded jitter.
+
+All backoff times are *virtual* seconds — nothing sleeps.  Jitter is drawn
+from the caller's :class:`random.Random`, so the same seed always yields
+the same retry/backoff schedule; the schedule is part of the deterministic
+cost accounting (Tables 2-3 stay honest under retries).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """An exponential-backoff retry budget.
+
+    ``budget`` is the number of *retries* after the first attempt, so a
+    policy with ``budget=3`` issues at most four attempts.  The pause
+    before retry ``i`` (0-based) is ``base_backoff * multiplier**i``
+    capped at ``max_backoff``, scaled by a uniform jitter factor in
+    ``[1 - jitter, 1 + jitter]`` drawn from the caller's RNG.
+    """
+
+    budget: int = 3
+    base_backoff: float = 2.0
+    multiplier: float = 2.0
+    max_backoff: float = 60.0
+    jitter: float = 0.25
+
+    def backoff_seconds(self, attempt: int, rng: random.Random) -> float:
+        """The virtual pause before retry number ``attempt`` (0-based)."""
+        pause = min(self.base_backoff * self.multiplier**attempt, self.max_backoff)
+        if self.jitter:
+            pause *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return pause
+
+    def schedule(self, rng: random.Random) -> list[float]:
+        """The full backoff schedule the given RNG stream would produce."""
+        return [self.backoff_seconds(i, rng) for i in range(self.budget)]
+
+
+def run_with_retry(
+    policy: RetryPolicy | None,
+    rng: random.Random,
+    attempt_fn: Callable[[], T],
+    retryable: tuple[type[BaseException], ...] = (Exception,),
+    on_backoff: Callable[[int, float], None] | None = None,
+) -> tuple[T, int, float]:
+    """Call ``attempt_fn`` under ``policy``; return (value, retries, backoff).
+
+    With ``policy=None`` the call is made exactly once and consumes no RNG
+    beyond what ``attempt_fn`` itself draws — callers that opt out of
+    retries keep their historical random stream bit-for-bit.  When the
+    budget is exhausted the last ``retryable`` exception propagates.
+    """
+    retries = 0
+    backoff_total = 0.0
+    while True:
+        try:
+            return attempt_fn(), retries, backoff_total
+        except retryable:
+            if policy is None or retries >= policy.budget:
+                raise
+            pause = policy.backoff_seconds(retries, rng)
+            if on_backoff is not None:
+                on_backoff(retries, pause)
+            backoff_total += pause
+            retries += 1

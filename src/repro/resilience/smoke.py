@@ -1,0 +1,90 @@
+"""Resilience CI smoke: inject a worker crash, assert the grid survives.
+
+Runs a six-cell campaign grid (the six evaluated fuzzers on the gcc
+personality) with a permanently crashing worker injected into one cell,
+and asserts the acceptance contract of the resilience layer: five cells
+succeed, the broken cell lands as a recorded :class:`CellOutcome` failure,
+and the grid is never aborted or silently serialized.  Also exercises the
+retry path (a first-attempt-only crash that the per-cell retry absorbs)
+and checkpoint/resume.  Exit code 0 = contract holds.
+
+Entry points: ``resilience-smoke`` (installed script) or
+``python -m repro.resilience.smoke``.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+
+def main() -> int:
+    import repro.mutators  # noqa: F401  (populate the registry)
+    from repro.compiler.driver import Compiler, GCC_SIM
+    from repro.fuzzing.campaign import FUZZER_NAMES, Campaign
+    from repro.fuzzing.seedgen import generate_seeds
+    from repro.muast.registry import global_registry
+    from repro.resilience.faultinject import CellFault
+
+    campaign = Campaign(
+        compilers=[Compiler(*GCC_SIM)],
+        seeds=generate_seeds(8),
+        registry=global_registry,
+        steps=12,
+    )
+
+    # 1. A permanently crashing worker: 5 successes + 1 recorded failure.
+    outcomes = campaign.run_resilient(
+        FUZZER_NAMES,
+        parallelism=3,
+        cell_retries=1,
+        faults={"GrayC": CellFault(kind="exit", attempts=None)},
+    )
+    ok = [o for o in outcomes if o.ok]
+    failed = [o for o in outcomes if o.failed]
+    assert len(outcomes) == 6, f"expected 6 outcomes, got {len(outcomes)}"
+    assert len(ok) == 5, f"expected 5 successes, got {len(ok)}"
+    assert len(failed) == 1 and failed[0].spec.fuzzer_name == "GrayC", failed
+    assert failed[0].error_type == "worker-crash", failed[0]
+    assert failed[0].attempts == 2, failed[0]
+    print(
+        "worker-crash isolation: 5 ok + 1 recorded failure "
+        f"({failed[0].error_type}: {failed[0].error})"
+    )
+
+    # 2. A transient first-attempt crash: the per-cell retry absorbs it and
+    #    the retried cell equals the clean serial run (same CellSpec seed).
+    clean = campaign.run(("uCFuzz.s", "Csmith"), parallelism=1)
+    retried = campaign.run_resilient(
+        ("uCFuzz.s", "Csmith"),
+        parallelism=2,
+        cell_retries=1,
+        faults={"uCFuzz.s": CellFault(kind="exit", attempts=(0,))},
+    )
+    assert all(o.ok for o in retried), retried
+    assert retried[0].attempts == 2 and retried[1].attempts == 1
+    for expect, got in zip(clean, retried):
+        assert got.result is not None
+        assert got.result.coverage_trend == expect.coverage_trend
+        assert got.result.crashes.signatures() == expect.crashes.signatures()
+    print("worker-crash retry: retried cell identical to the clean run")
+
+    # 3. Checkpoint/resume: a second run reruns nothing.
+    with tempfile.TemporaryDirectory() as ckpt:
+        first = campaign.run_resilient(
+            ("uCFuzz.u", "YARPGen"), parallelism=2, checkpoint_dir=ckpt
+        )
+        resumed = campaign.run_resilient(
+            ("uCFuzz.u", "YARPGen"), parallelism=2, checkpoint_dir=ckpt
+        )
+        assert all(o.ok for o in first)
+        assert all(o.from_checkpoint for o in resumed), resumed
+        for a, b in zip(first, resumed):
+            assert a.result.coverage_trend == b.result.coverage_trend
+    print("checkpoint/resume: resumed run served entirely from checkpoints")
+    print("resilience smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
