@@ -27,15 +27,25 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
 
+import time
+
 from repro.cast import ast_nodes as ast
+from repro.cast.incremental import (
+    IncrementalPlan,
+    assert_entries_equal,
+    incremental_front_end,
+)
 from repro.cast.lexer import Lexer, LexError, Token
 from repro.cast.parser import ParseError, Parser
 from repro.cast.sema import Diagnostic, Sema
 from repro.cast.source import SourceFile
 
 #: Default bound on cached translation units.  The μCFuzz pool stays small
-#: (tens of programs) while mutants churn; 256 keeps every pool member warm.
-DEFAULT_CACHE_SIZE = 256
+#: (tens of programs) while mutants churn; 256 evicted heavily (1749
+#: evictions over a 600-step benchmark run), so the default keeps the whole
+#: mutant working set of a campaign cell warm.  Tunable per fuzzer/Campaign
+#: via the ``cache_maxsize`` knob.
+DEFAULT_CACHE_SIZE = 2048
 
 
 class CacheInvariantError(AssertionError):
@@ -80,17 +90,24 @@ class FrontendEntry:
         return self.unit is not None and not self.error_diagnostics
 
 
-def analyze_front_end(text: str, source_hash: str | None = None) -> FrontendEntry:
+def analyze_front_end(
+    text: str,
+    source_hash: str | None = None,
+    timings: "dict | None" = None,
+) -> FrontendEntry:
     """Run the full front end (lex, parse, sema) on ``text``.
 
     Mirrors the uncached pipeline exactly: best-effort lexing keeps the token
     prefix for coverage attribution, a lex failure makes the parser re-lex so
     its diagnostic matches the from-scratch path, and semantic analysis runs
-    only on parsed units.
+    only on parsed units.  ``timings`` (a Counter-like mapping) accumulates
+    per-stage wall-clock seconds under ``lex``/``parse``/``sema``.
     """
+    t0 = time.perf_counter()
     source = SourceFile(text)
     prefix, lex_error = Lexer(source).tokens_best_effort()
     tokens = None if lex_error is not None else prefix
+    t1 = time.perf_counter()
     unit: ast.TranslationUnit | None = None
     parse_error: str | None = None
     parse_recursion = False
@@ -99,11 +116,17 @@ def analyze_front_end(text: str, source_hash: str | None = None) -> FrontendEntr
     except (ParseError, RecursionError) as exc:
         parse_error = str(exc)
         parse_recursion = isinstance(exc, RecursionError)
+    t2 = time.perf_counter()
     sema: Sema | None = None
     sema_diags: list[Diagnostic] = []
     if unit is not None:
         sema = Sema()
         sema_diags = sema.analyze(unit)
+    if timings is not None:
+        t3 = time.perf_counter()
+        timings["lex"] = timings.get("lex", 0.0) + (t1 - t0)
+        timings["parse"] = timings.get("parse", 0.0) + (t2 - t1)
+        timings["sema"] = timings.get("sema", 0.0) + (t3 - t2)
     return FrontendEntry(
         source_hash=source_hash if source_hash is not None else source_digest(text),
         source=source,
@@ -129,26 +152,98 @@ class FrontendCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Misses served by the dirty-region incremental front end rather
+        #: than a full re-front-ending, and misses where the incremental
+        #: path declared itself ineligible (fell back to the full path).
+        self.incremental_hits = 0
+        self.incremental_fallbacks = 0
+        #: Paranoid incremental-vs-full comparisons performed (all of which
+        #: matched; a mismatch raises :class:`IncrementalDivergence`).
+        self.paranoid_checks = 0
 
-    def front_end(self, text: str) -> FrontendEntry:
-        """The cached front-end result for ``text``, computing on miss."""
-        key = source_digest(text)
+    def _lookup(self, key: str) -> FrontendEntry | None:
         entry = self._entries.get(key)
-        if entry is not None:
-            if self.verify_on_hit and source_digest(entry.source.text) != entry.source_hash:
-                raise CacheInvariantError(
-                    f"cached unit for {entry.source_hash[:12]} was mutated in place"
-                )
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return entry
-        self.misses += 1
-        entry = analyze_front_end(text, source_hash=key)
+        if entry is None:
+            return None
+        if self.verify_on_hit and source_digest(entry.source.text) != entry.source_hash:
+            raise CacheInvariantError(
+                f"cached unit for {entry.source_hash[:12]} was mutated in place"
+            )
+        self._entries.move_to_end(key)
+        return entry
+
+    def _store(self, key: str, entry: FrontendEntry) -> None:
         self._entries[key] = entry
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
             self.evictions += 1
+
+    def front_end(
+        self, text: str, timings: "dict | None" = None
+    ) -> FrontendEntry:
+        """The cached front-end result for ``text``, computing on miss."""
+        key = source_digest(text)
+        entry = self._lookup(key)
+        if entry is not None:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        entry = analyze_front_end(text, source_hash=key, timings=timings)
+        self._store(key, entry)
         return entry
+
+    def peek(self, text: str) -> FrontendEntry | None:
+        """The cached entry for ``text`` without hit/miss accounting."""
+        return self._entries.get(source_digest(text))
+
+    def front_end_incremental(
+        self,
+        text: str,
+        parent: FrontendEntry | None,
+        edits,
+        *,
+        paranoid: bool = False,
+        timings: "dict | None" = None,
+    ) -> "tuple[FrontendEntry, IncrementalPlan | None]":
+        """Front-end a mutant, reusing ``parent``'s entry where possible.
+
+        ``edits`` is the mutant's :meth:`Rewriter.edit_script` in parent
+        coordinates.  Returns the entry plus the :class:`IncrementalPlan`
+        describing which decls were reused (``None`` on a plain cache hit or
+        when the full front end ran).  With ``paranoid=True`` every
+        incremental result is cross-checked against a full re-front-ending
+        and :class:`IncrementalDivergence` raised on any mismatch.
+        """
+        key = source_digest(text)
+        entry = self._lookup(key)
+        if entry is not None:
+            self.hits += 1
+            return entry, None
+        self.misses += 1
+        built = None
+        if parent is not None and edits:
+            t0 = time.perf_counter()
+            try:
+                built = incremental_front_end(text, parent, edits)
+            except RecursionError:
+                built = None
+            if timings is not None:
+                timings["frontend_incremental"] = timings.get(
+                    "frontend_incremental", 0.0
+                ) + (time.perf_counter() - t0)
+        if built is None:
+            self.incremental_fallbacks += 1
+            entry = analyze_front_end(text, source_hash=key, timings=timings)
+            self._store(key, entry)
+            return entry, None
+        fields, plan = built
+        entry = FrontendEntry(source_hash=key, **fields)
+        self.incremental_hits += 1
+        if paranoid:
+            self.paranoid_checks += 1
+            assert_entries_equal(entry, analyze_front_end(text, source_hash=key))
+        self._store(key, entry)
+        return entry, plan
 
     # -- introspection -----------------------------------------------------
 
@@ -163,8 +258,14 @@ class FrontendCache:
             "cache_misses": self.misses,
             "cache_evictions": self.evictions,
             "cache_hit_rate": self.hit_rate,
+            "cache_eviction_rate": (
+                self.evictions / self.misses if self.misses else 0.0
+            ),
             "cache_size": len(self._entries),
             "cache_maxsize": self.maxsize,
+            "cache_incremental_hits": self.incremental_hits,
+            "cache_incremental_fallbacks": self.incremental_fallbacks,
+            "cache_paranoid_checks": self.paranoid_checks,
         }
 
     def clear(self) -> None:

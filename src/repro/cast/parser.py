@@ -70,6 +70,13 @@ class Parser:
         self.record_names: dict[str, ct.RecordType] = {}
         self.typedefs: dict[str, ct.QualType] = {}
         self._anon_counter = 0
+        #: Ordered log of cross-declaration parser-state *definitions*
+        #: (record definitions and typedefs).  Replaying a prefix of this
+        #: journal reconstructs the parser state an incremental re-parse
+        #: needs to resume mid-file (see :mod:`repro.cast.incremental`).
+        #: Reference-created incomplete record entries are deliberately not
+        #: journaled: re-creating them yields value-equal types.
+        self._journal: list[tuple] = []
 
     # -- token primitives ------------------------------------------------
 
@@ -110,10 +117,24 @@ class Parser:
 
     def parse(self) -> ast.TranslationUnit:
         decls: list[ast.Decl] = []
+        #: Per external-declaration *group* marks: (number of decls the
+        #: group produced, token position just past the group, journal
+        #: length, anonymous-tag counter).  A group is one iteration of the
+        #: top-level loop — possibly zero decls (a stray ``;``) or several
+        #: (``int a, b;``) — and is the granularity at which the incremental
+        #: front end decides what is dirty.
+        groups: list[tuple[int, int, int, int]] = []
         while self.tok.kind is not TokenKind.EOF:
-            decls.extend(self.parse_external_declaration())
+            group = self.parse_external_declaration()
+            decls.extend(group)
+            groups.append(
+                (len(group), self.pos, len(self._journal), self._anon_counter)
+            )
         end = self.tokens[-1].end
-        return ast.TranslationUnit(decls, SourceRange(SourceLocation(0), end))
+        unit = ast.TranslationUnit(decls, SourceRange(SourceLocation(0), end))
+        unit._inc_groups = tuple(groups)
+        unit._inc_journal = tuple(self._journal)
+        return unit
 
     # -- declarations -------------------------------------------------------
 
@@ -320,6 +341,7 @@ class Parser:
             tag_kind, name, tuple((f.name, f.type) for f in fields)
         )
         self.record_names[name] = rec
+        self._journal.append(("record", name, rec))
         spec.tag_decls.append(
             ast.RecordDecl(tag_kind, name, fields, SourceRange(start, rbrace.end))
         )
@@ -485,6 +507,7 @@ class Parser:
         if spec.storage == "typedef":
             self.typedef_names.add(declarator.name)
             self.typedefs[declarator.name] = declarator.type
+            self._journal.append(("typedef", declarator.name, declarator.type))
             return ast.TypedefDecl(
                 declarator.name,
                 declarator.type,

@@ -76,6 +76,22 @@ class Rewriter:
     def edit_count(self) -> int:
         return len(self._edits)
 
+    def edit_script(self) -> tuple[tuple[int, int, str], ...]:
+        """The accumulated edits as ``(begin, end, replacement)`` spans.
+
+        Spans are in *original* (pre-edit) coordinates, sorted in the same
+        order :meth:`rewritten_text` applies them; ``begin == end`` denotes
+        an insertion.  ``_add`` guarantees the spans are non-overlapping, so
+        applying them left to right reproduces :meth:`rewritten_text` and
+        the net length change is ``sum(len(text) - (end - begin))``.  The
+        incremental front end (:mod:`repro.cast.incremental`) consumes this
+        to locate the dirty declarations of a mutant.
+        """
+        return tuple(
+            (e.begin, e.end, e.text)
+            for e in sorted(self._edits, key=lambda e: (e.begin, e.end, e.seq))
+        )
+
     def rewritten_text(self) -> str:
         """Apply all edits to the original text and return the result."""
         parts: list[str] = []

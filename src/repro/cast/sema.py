@@ -77,6 +77,16 @@ class Sema:
         self._records: dict[str, ct.RecordType] = {}
         self._enum_consts: dict[str, int] = {}
         self._typedefs: dict[str, ct.QualType] = {}
+        #: Ordered log of writes to the cross-declaration dicts above
+        #: (``("record", name, rec)`` / ``("enum_const", name, value)`` /
+        #: ``("typedef", name, qt)``).  An incremental re-analysis replays a
+        #: clean declaration's slice of this log as pure dict writes instead
+        #: of re-walking its body (see :mod:`repro.cast.incremental`).
+        self._effect_log: list[tuple] = []
+        #: Per top-level decl (aligned with ``unit.decls`` after
+        #: :meth:`analyze`): (diagnostic count, effect-log length) once the
+        #: decl was fully analyzed.
+        self._decl_marks: list[tuple[int, int]] = []
 
     # -- public API ---------------------------------------------------------
 
@@ -84,6 +94,9 @@ class Sema:
         """Analyze a unit; returns diagnostics (empty = compilable)."""
         for decl in unit.decls:
             self._visit_top_level(decl)
+            self._decl_marks.append(
+                (len(self.diagnostics), len(self._effect_log))
+            )
         return self.diagnostics
 
     def check(self, unit: ast.TranslationUnit) -> None:
@@ -132,6 +145,7 @@ class Sema:
             self._declare_enum(decl)
         elif isinstance(decl, ast.TypedefDecl):
             self._typedefs[decl.name] = decl.underlying
+            self._effect_log.append(("typedef", decl.name, decl.underlying))
             self._scope.define(Symbol(decl.name, decl.underlying, decl, "typedef"))
         else:  # pragma: no cover - parser produces no other top-level kinds
             self._error(f"unsupported top-level declaration {decl.kind}", decl)
@@ -143,6 +157,7 @@ class Sema:
             tuple((f.name, self._resolve(f.type)) for f in decl.fields),
         )
         self._records[decl.name] = rec
+        self._effect_log.append(("record", decl.name, rec))
         seen: set[str] = set()
         for f in decl.fields:
             if f.name in seen:
@@ -159,6 +174,7 @@ class Sema:
                 folded = fold_int(const.value)
                 next_value = folded if folded is not None else next_value
             self._enum_consts[const.name] = next_value
+            self._effect_log.append(("enum_const", const.name, next_value))
             if not self._scope.define(Symbol(const.name, ct.INT, const, "enum_const")):
                 self._error(f"redefinition of enumerator {const.name!r}", const)
             next_value += 1
@@ -312,6 +328,10 @@ class Sema:
                 no_prototype=decl.no_prototype,
             )
         )
+        # Stash the symbol type *before* the in-place parameter decay below:
+        # re-running this method on an already-analyzed decl would build a
+        # different (decayed) ftype, so incremental replay uses the stash.
+        decl._sema_ftype = ftype
         existing = self._file_scope.lookup_local(decl.name)
         if existing is not None and existing.kind == "func":
             old = existing.type.type
@@ -371,6 +391,7 @@ class Sema:
                 self._declare_enum(decl)
             elif isinstance(decl, ast.TypedefDecl):
                 self._typedefs[decl.name] = decl.underlying
+                self._effect_log.append(("typedef", decl.name, decl.underlying))
                 self._scope.define(
                     Symbol(decl.name, decl.underlying, decl, "typedef")
                 )

@@ -33,7 +33,16 @@ class SourceRange:
 
     @staticmethod
     def of(begin: int, end: int) -> "SourceRange":
-        return SourceRange(SourceLocation(begin), SourceLocation(end))
+        # Interned: ranges are immutable value objects and the lexer/clone
+        # hot paths construct millions of repeats; the bound keeps a
+        # pathological offset spread from pinning memory.
+        key = (begin, end)
+        cached = _RANGE_INTERN.get(key)
+        if cached is None:
+            cached = SourceRange(SourceLocation(begin), SourceLocation(end))
+            if len(_RANGE_INTERN) < 1_000_000:
+                _RANGE_INTERN[key] = cached
+        return cached
 
     @property
     def length(self) -> int:
@@ -50,6 +59,9 @@ class SourceRange:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"range({self.begin.offset},{self.end.offset})"
+
+
+_RANGE_INTERN: dict[tuple[int, int], SourceRange] = {}
 
 
 @dataclass

@@ -76,9 +76,19 @@ def _allocate(intervals: dict[int, tuple[int, int]]) -> tuple[dict[int, str], in
     return assignment, spills, pressure
 
 
-def lower_to_asm(module: IRModule, ctx: OptContext) -> BackendResult:
+def lower_to_asm(
+    module: IRModule, ctx: OptContext, fn_lowerer=None
+) -> BackendResult:
+    """Emit the whole module.
+
+    ``fn_lowerer(fn, ctx) -> BackendResult`` overrides per-function lowering
+    (the incremental middle end replays unchanged functions through it); the
+    cumulative statistics and the module/function checkpoints always run
+    live, because they depend on the preceding functions' totals.
+    """
     lines: list[str] = []
     cov = ctx.cov
+    lower = fn_lowerer if fn_lowerer is not None else _lower_function
     total_stats = {
         "be_blocks": 0, "be_instrs": 0, "be_spills": 0, "be_pressure": 0,
         "be_calls": 0, "be_label_blocks": 0,
@@ -88,7 +98,7 @@ def lower_to_asm(module: IRModule, ctx: OptContext) -> BackendResult:
         lines.append(f".data {g.name}: .space {g.size}")
         cov.hit("backend:global", (g.const, g.volatile, g.size > 16))
     for fn in module.functions.values():
-        result = _lower_function(fn, ctx)
+        result = lower(fn, ctx)
         lines.append(result.asm)
         for k, v in result.stats.items():
             if k in ("be_pressure",):

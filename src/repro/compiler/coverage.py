@@ -21,9 +21,18 @@ class CoverageMap:
     """A set of covered branch edges, with cheap union/diff operations."""
 
     edges: set[Edge] = field(default_factory=set)
+    #: Optional event sink: when set, every :meth:`hit` *attempt* (including
+    #: re-hits of already-covered edges) is appended as ``("cov", site,
+    #: outcome)``, in order.  The incremental middle end
+    #: (:mod:`repro.compiler.incremental`) records a compile's event stream
+    #: through this hook and replays it for unchanged functions.  Excluded
+    #: from :meth:`copy` and merge semantics.
+    journal: list | None = field(default=None, repr=False, compare=False)
 
     def hit(self, site: str, outcome: Hashable = True) -> None:
         """Record that branch ``site`` was taken with ``outcome``."""
+        if self.journal is not None:
+            self.journal.append(("cov", site, outcome))
         self.edges.add((site, outcome))
 
     def merge(self, other: "CoverageMap | Iterable[Edge]") -> int:

@@ -8,18 +8,20 @@ run produced.  This is exactly the interface a fuzzer needs.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.cast import ast_nodes as ast
 from repro.cast.cache import FrontendCache, FrontendEntry, analyze_front_end
 from repro.compiler import features as feat
-from repro.compiler.backend import lower_to_asm
 from repro.compiler.bugs import BugRegistry
 from repro.compiler.coverage import CoverageMap
 from repro.compiler.crash import CompilerCrash, CompilerHang
+from repro.compiler.incremental import (
+    assert_results_equal,
+    lower_and_optimize,
+)
 from repro.compiler.ir import IRModule
-from repro.compiler.irgen import IRGen, LoweringError
-from repro.compiler.passes import OptContext, run_pipeline
 
 
 @dataclass
@@ -33,8 +35,12 @@ class CompileResult:
     module: IRModule | None = None
     coverage: CoverageMap = field(default_factory=CoverageMap)
     features: dict = field(default_factory=dict)
-    #: Virtual compile time in seconds (used by the campaign clock).
+    #: Virtual compile time in seconds (used by the campaign clock), scaled
+    #: by the pipeline stages the compile actually reached.
     cost: float = 0.09
+    #: Which stages logically ran ("frontend", "middle", "backend") — replay
+    #: counts as running, so this is invariant under incremental compilation.
+    stages: tuple = ()
 
     @property
     def crashed(self) -> bool:
@@ -70,6 +76,13 @@ class Compiler:
         self.bugs = BugRegistry.for_compiler(personality, seed=bug_seed)
         #: Optional shared front-end cache; ``compile(cache=...)`` overrides.
         self.cache = cache
+        #: Wall-clock seconds per pipeline stage (lex/parse/sema via the
+        #: cache, plus irgen/opt/backend), accumulated across compiles.
+        self.stage_timings: Counter = Counter()
+        #: Compiles served by function-granular middle-end replay, and
+        #: incremental attempts that aborted back to a full middle end.
+        self.middle_incremental_hits = 0
+        self.middle_incremental_fallbacks = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Compiler {self.name}>"
@@ -82,7 +95,17 @@ class Compiler:
         opt_level: int = 2,
         flags: tuple[str, ...] = (),
         cache: FrontendCache | None = None,
+        edits_from: tuple[str, tuple] | None = None,
+        paranoid: bool = False,
     ) -> CompileResult:
+        """Compile ``source_text``; never raises for input-driven outcomes.
+
+        ``edits_from=(parent_text, edit_script)`` names the already-compiled
+        program this text was mutated from, enabling dirty-region front-end
+        reuse and function-granular middle-end replay.  ``paranoid=True``
+        cross-checks every cached/incremental compile against a from-scratch
+        one and raises ``IncrementalDivergence`` on any observable mismatch.
+        """
         cov = CoverageMap()
         result = CompileResult(False, self.name, coverage=cov)
         features: dict = {
@@ -91,10 +114,16 @@ class Compiler:
             "personality": self.personality,
         }
         result.features = features
+        cache = cache if cache is not None else self.cache
+        journal: list | None = [] if cache is not None else None
+        if journal is not None:
+            cov.journal = journal
+        stages = ["frontend"]
         try:
             self._run_pipeline(
                 source_text, opt_level, flags, cov, features, result,
-                cache if cache is not None else self.cache,
+                cache, edits_from=edits_from, paranoid=paranoid,
+                journal=journal, stages=stages,
             )
         except CompilerCrash as crash:
             result.ok = False
@@ -104,7 +133,19 @@ class Compiler:
             result.ok = False
             result.hang = hang
             cov.hit("hang", hang.bug_id)
-        result.cost = 0.05 + min(len(source_text), 40_000) / 22_000.0
+        result.stages = tuple(stages)
+        # Virtual cost scaled by the stages the compile reached; the terms
+        # sum to the historical 0.05 + u for a full three-stage compile.
+        u = min(len(source_text), 40_000) / 22_000.0
+        cost = 0.02 + 0.45 * u
+        if "middle" in stages:
+            cost += 0.02 + 0.35 * u
+        if "backend" in stages:
+            cost += 0.01 + 0.20 * u
+        result.cost = cost
+        if paranoid and cache is not None:
+            reference = self.compile(source_text, opt_level, flags, cache=None)
+            assert_results_equal(result, reference)
         return result
 
     # ------------------------------------------------------------------
@@ -118,14 +159,32 @@ class Compiler:
         features: dict,
         result: CompileResult,
         cache: FrontendCache | None = None,
+        edits_from: tuple[str, tuple] | None = None,
+        paranoid: bool = False,
+        journal: list | None = None,
+        stages: list | None = None,
     ) -> None:
         # ---- Front end: lex/parse/sema, shared via the content cache. ----
         # The per-text summary (coverage edges, feature vector, diagnostics)
         # is deterministic, so cache hits replay identical bookkeeping into
         # this call's CoverageMap/CompileResult; bug checks stay per-call
         # because they depend on opt_level/flags.
-        entry = cache.front_end(source_text) if cache is not None else analyze_front_end(source_text)
-        summary = _frontend_summary(entry)
+        plan = None
+        if cache is None:
+            entry = analyze_front_end(source_text, timings=self.stage_timings)
+        elif edits_from is not None:
+            parent_text, edits = edits_from
+            parent_entry = cache.peek(parent_text) if edits else None
+            if parent_entry is not None:
+                entry, plan = cache.front_end_incremental(
+                    source_text, parent_entry, edits,
+                    paranoid=paranoid, timings=self.stage_timings,
+                )
+            else:
+                entry = cache.front_end(source_text, timings=self.stage_timings)
+        else:
+            entry = cache.front_end(source_text, timings=self.stage_timings)
+        summary = _frontend_summary(entry, plan)
         cov.merge(summary.edges)
         features.update(summary.features)
         result.diagnostics.extend(summary.diagnostics)
@@ -134,47 +193,14 @@ class Compiler:
         self.bugs.check("front-end", features)
         if entry.unit is None or result.diagnostics:
             return
-        unit = entry.unit
 
-        # ---- IR generation. ---------------------------------------------
-        sema = entry.sema
-        assert sema is not None
-        irgen = IRGen(sema, cov)
-        try:
-            module = irgen.lower(unit)
-        except (LoweringError, RecursionError) as exc:
-            result.diagnostics.append(f"sorry, unimplemented: {exc}")
-            features["lowering_failed"] = 1
-            self.bugs.check("ir-gen", features)
-            return
-        features.update(irgen.stats.counters)
-        self.bugs.check("ir-gen", features)
-
-        # ---- Optimizer. ---------------------------------------------------
-        def checkpoint(point: str, extra: dict) -> None:
-            merged = dict(features)
-            merged.update(extra)
-            self.bugs.check(point, merged)
-
-        effective_flags = self._personality_flags(flags)
-        ctx = OptContext(
-            cov=cov,
-            opt_level=opt_level,
-            flags=effective_flags,
-            checkpoint=checkpoint,
+        # ---- Middle + back end (incremental-aware). ----------------------
+        if stages is not None:
+            stages.append("middle")
+        lower_and_optimize(
+            self, entry, opt_level, flags, cov, features, result,
+            journal=journal, plan=plan, stages=stages,
         )
-        run_pipeline(module, ctx)
-        features.update(ctx.stats.counters)
-        self.bugs.check("optimization", features)
-
-        # ---- Back end. -------------------------------------------------------
-        be = lower_to_asm(module, ctx)
-        features.update(be.stats)
-        self.bugs.check("back-end", features)
-
-        result.ok = True
-        result.asm = be.asm
-        result.module = module
 
     def _personality_flags(self, flags: tuple[str, ...]) -> tuple[str, ...]:
         extra: tuple[str, ...] = ()
@@ -193,12 +219,14 @@ class _FrontendSummary:
     diagnostics: tuple[str, ...]
 
 
-def _frontend_summary(entry: FrontendEntry) -> _FrontendSummary:
+def _frontend_summary(entry: FrontendEntry, plan=None) -> _FrontendSummary:
     """Coverage edges, features, and diagnostics for one front-end result.
 
     Deterministic per source text, so it is memoized on the cache entry; the
     caller merges it into per-call state.  The summary dict/edge set are
-    treated as immutable after construction.
+    treated as immutable after construction.  With an incremental ``plan``,
+    the per-declaration AST work (coverage walk + feature extraction) is
+    grafted from the parent entry for every unchanged declaration.
     """
     summary = entry.memo.get("driver_summary")
     if summary is not None:
@@ -229,36 +257,94 @@ def _frontend_summary(entry: FrontendEntry) -> _FrontendSummary:
                 diagnostics.append(d.message)
         if diagnostics:
             features["sema_failed"] = 1
-        features.update(feat.ast_features(entry.unit, entry.source.text))
-        _cover_ast(entry.unit, cov)
+        decl_summaries = _decl_summaries(entry, plan)
+        features.update(
+            feat.merge_ast_features(f for _, f in decl_summaries)
+        )
+        cov.hit("fe:node", "TranslationUnit")
+        for decl in entry.unit.decls:
+            cov.hit("fe:edge", ("TranslationUnit", decl.kind))
+        for edges, _ in decl_summaries:
+            cov.merge(edges)
     summary = _FrontendSummary(frozenset(cov.edges), features, tuple(diagnostics))
     entry.memo["driver_summary"] = summary
     return summary
 
 
+def _decl_summaries(entry: FrontendEntry, plan) -> list:
+    """Per-decl (coverage edges, feature vector) pairs, grafted when clean.
+
+    Both halves are pure over the decl subtree (offset-shift invariant), so
+    an unchanged declaration reuses its parent's pair; only the dirty decls
+    are walked.  Memoized on the entry for this text's future compiles.
+    """
+    cached = entry.memo.get("decl_summaries")
+    if cached is not None:
+        return cached
+    parent_sums = (
+        plan.parent.memo.get("decl_summaries") if plan is not None else None
+    )
+    summaries = []
+    for i, decl in enumerate(entry.unit.decls):
+        parent_index = plan.decl_map[i] if parent_sums is not None else None
+        if parent_index is not None:
+            summaries.append(parent_sums[parent_index])
+        else:
+            summaries.append(_decl_summary(decl, entry.source.text))
+    entry.memo["decl_summaries"] = summaries
+    return summaries
+
+
+def _decl_summary(decl: ast.Node, source_text: str) -> tuple:
+    cov = CoverageMap()
+    # One materialized pre-order walk (same order as ``Node.walk``), shared
+    # by the coverage and feature passes; built with a plain loop because
+    # the generator's per-node resume is the hot path's dominant cost.
+    nodes: list[ast.Node] = []
+    stack = [decl]
+    while stack:
+        node = stack.pop()
+        nodes.append(node)
+        children = list(node.children())
+        children.reverse()
+        stack.extend(children)
+    _cover_ast(decl, cov, nodes=nodes)
+    return (
+        frozenset(cov.edges),
+        feat.decl_ast_features(decl, source_text, nodes=nodes),
+    )
+
+
 def _cover_tokens(tokens, cov: CoverageMap) -> None:
     from repro.cast.lexer import TokenKind
 
+    # These maps never carry a journal, so edges go straight into the set.
+    assert cov.journal is None
+    add = cov.edges.add
+    keyword_or_punct = (TokenKind.KEYWORD, TokenKind.PUNCT)
     prev = None
     for tok in tokens[:6000]:
-        key = tok.text if tok.kind in (TokenKind.KEYWORD, TokenKind.PUNCT) else tok.kind.name
-        cov.hit("fe:token", key)
+        key = tok.text if tok.kind in keyword_or_punct else tok.kind.name
+        add(("fe:token", key))
         if prev is not None:
-            cov.hit("fe:token2", (prev, key))
+            add(("fe:token2", (prev, key)))
         prev = key
 
 
-def _cover_ast(unit: ast.TranslationUnit, cov: CoverageMap) -> None:
-    for node in unit.walk():
-        cov.hit("fe:node", node.kind)
+def _cover_ast(root: ast.Node, cov: CoverageMap, nodes=None) -> None:
+    assert cov.journal is None
+    add = cov.edges.add
+    for node in nodes if nodes is not None else root.walk():
+        kind = node.kind
+        add(("fe:node", kind))
         for child in node.children():
-            cov.hit("fe:edge", (node.kind, child.kind))
+            add(("fe:edge", (kind, child.kind)))
         if isinstance(node, ast.BinaryOperator):
-            cov.hit("fe:binop", node.op)
+            add(("fe:binop", node.op))
         elif isinstance(node, ast.UnaryOperator):
-            cov.hit("fe:unop", (node.op, node.prefix))
+            add(("fe:unop", (node.op, node.prefix)))
         elif isinstance(node, (ast.VarDecl, ast.ParmVarDecl, ast.FieldDecl)):
-            cov.hit("fe:type", node.type.spelling())
+            add(("fe:type", node.type.spelling()))
 
 
 #: The two evaluation targets of §5.1 (GCC-14 and Clang-18 stand-ins).

@@ -85,13 +85,60 @@ def _unparen(expr: ast.Expr) -> ast.Expr:
     return expr
 
 
+#: Feature keys combined by ``max()`` when merging per-declaration vectors;
+#: every other key is additive.  Keeping this in sync with
+#: :func:`decl_ast_features` is what makes the per-decl decomposition exact.
+AST_MAX_FEATURES = frozenset(
+    {"switch_max_cases", "max_params", "expr_depth", "stmt_depth",
+     "loop_nest_depth"}
+)
+
+#: Depth keys are reported even for empty units (the monolithic walk always
+#: set them).
+_DEPTH_FEATURES = ("expr_depth", "stmt_depth", "loop_nest_depth")
+
+
 def ast_features(
     unit: ast.TranslationUnit, source_text: str | None = None
 ) -> dict[str, int]:
-    """Mutation-fingerprint features over a successfully parsed unit."""
+    """Mutation-fingerprint features over a successfully parsed unit.
+
+    Computed per top-level declaration and merged, so the incremental front
+    end can reuse the unchanged declarations' vectors verbatim.
+    """
+    return merge_ast_features(
+        decl_ast_features(decl, source_text) for decl in unit.decls
+    )
+
+
+def merge_ast_features(per_decl) -> dict[str, int]:
+    """Combine per-declaration vectors into the whole-unit vector."""
+    f: dict[str, int] = {"kind_TranslationUnit": 1}
+    for d in per_decl:
+        for k, v in d.items():
+            if k in AST_MAX_FEATURES:
+                f[k] = max(f.get(k, 0), v)
+            else:
+                f[k] = f.get(k, 0) + v
+    for k in _DEPTH_FEATURES:
+        f.setdefault(k, 0)
+    return f
+
+
+def decl_ast_features(
+    decl: ast.Node, source_text: str | None = None, nodes=None
+) -> dict[str, int]:
+    """One top-level declaration's contribution to :func:`ast_features`.
+
+    Pure over the decl subtree (node kinds, operators, range *lengths* and
+    intra-decl text slices), so it is invariant under the uniform offset
+    shift the incremental front end applies to grafted declarations.
+    ``nodes`` optionally supplies the decl's pre-order walk, letting the
+    caller share one traversal across passes.
+    """
     f: Counter = Counter()
     compounds: list[ast.CompoundStmt] = []
-    for node in unit.walk():
+    for node in nodes if nodes is not None else decl.walk():
         f[f"kind_{node.kind}"] += 1
         if isinstance(node, ast.CompoundStmt):
             compounds.append(node)
@@ -198,11 +245,7 @@ def ast_features(
                     names.append(a.name)
             if len(names) != len(set(names)):
                 f["dup_call_args"] += 1
-    f["expr_depth"] = _max_depth(unit, ast.Expr)
-    f["stmt_depth"] = _max_depth(unit, ast.Stmt)
-    f["loop_nest_depth"] = _max_depth(
-        unit, (ast.ForStmt, ast.WhileStmt, ast.DoStmt)
-    )
+    f["expr_depth"], f["stmt_depth"], f["loop_nest_depth"] = _max_depths(decl)
     # Adjacent duplicate statements (DuplicateStatement fingerprints): the
     # statements must be *textually identical*, not merely similar.
     for node in compounds:
@@ -236,7 +279,7 @@ def _same_ref(a: ast.Expr, b: ast.Expr) -> bool:
     )
 
 
-def _max_depth(unit: ast.TranslationUnit, cls) -> int:
+def _max_depth(root: ast.Node, cls) -> int:
     best = 0
 
     def walk(node: ast.Node, depth: int) -> None:
@@ -246,5 +289,35 @@ def _max_depth(unit: ast.TranslationUnit, cls) -> int:
         for child in node.children():
             walk(child, d)
 
-    walk(unit, 0)
+    walk(root, 0)
     return best
+
+
+_LOOP_STMTS = (ast.ForStmt, ast.WhileStmt, ast.DoStmt)
+
+
+def _max_depths(root: ast.Node) -> tuple[int, int, int]:
+    """(expr, stmt, loop-nest) nesting depths, in one traversal.
+
+    Equivalent to three ``_max_depth`` calls over ``Expr``, ``Stmt``, and
+    the loop statements, fused for the feature-extraction hot path.
+    """
+    best_e = best_s = best_l = 0
+    stack: list[tuple[ast.Node, int, int, int]] = [(root, 0, 0, 0)]
+    while stack:
+        node, de, ds, dl = stack.pop()
+        if isinstance(node, ast.Expr):
+            de += 1
+            if de > best_e:
+                best_e = de
+        if isinstance(node, ast.Stmt):
+            ds += 1
+            if ds > best_s:
+                best_s = ds
+        if isinstance(node, _LOOP_STMTS):
+            dl += 1
+            if dl > best_l:
+                best_l = dl
+        for child in node.children():
+            stack.append((child, de, ds, dl))
+    return best_e, best_s, best_l

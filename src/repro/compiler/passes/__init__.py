@@ -13,8 +13,12 @@ from repro.compiler.passes.simplify_cfg import simplify_cfg
 from repro.compiler.passes.dce import dce
 from repro.compiler.passes.cse import cse
 from repro.compiler.passes.forward_store import forward_store
-from repro.compiler.passes.inline import inline_small_functions
-from repro.compiler.passes.strlen_opt import strlen_opt
+from repro.compiler.passes.inline import (
+    inline_candidates,
+    inline_into_caller,
+    inline_small_functions,
+)
+from repro.compiler.passes.strlen_opt import strlen_opt, strlen_opt_fn
 from repro.compiler.passes.loop_vectorize import loop_vectorize
 
 __all__ = [
@@ -25,36 +29,63 @@ __all__ = [
     "dce",
     "cse",
     "forward_store",
+    "inline_candidates",
+    "inline_into_caller",
     "inline_small_functions",
     "strlen_opt",
+    "strlen_opt_fn",
     "loop_vectorize",
+    "local_opt",
+    "cleanup_opt",
     "run_pipeline",
 ]
 
 
+def local_opt(fn, ctx: OptContext) -> None:
+    """The per-function -O1 fixpoint round (first pipeline stage)."""
+    changed = True
+    rounds = 0
+    while changed and rounds < 4:
+        rounds += 1
+        changed = False
+        changed |= const_fold(fn, ctx)
+        changed |= simplify_cfg(fn, ctx)
+        changed |= forward_store(fn, ctx)
+        changed |= cse(fn, ctx)
+        changed |= dce(fn, ctx)
+    ctx.stats.bump("opt_rounds", rounds)
+
+
+def cleanup_opt(fn, ctx: OptContext) -> None:
+    """The per-function post-inline cleanup round (-O2 stage tail)."""
+    const_fold(fn, ctx)
+    simplify_cfg(fn, ctx)
+    dce(fn, ctx)
+
+
 def run_pipeline(module, ctx: OptContext) -> None:
-    """Run the optimization pipeline at the context's -O level."""
+    """Run the optimization pipeline at the context's -O level.
+
+    Kept decomposed into per-function stage entry points (:func:`local_opt`,
+    :func:`inline_into_caller`, :func:`strlen_opt_fn`, :func:`cleanup_opt`,
+    :func:`loop_vectorize`) so the incremental middle end
+    (:mod:`repro.compiler.incremental`) can replay unchanged functions and
+    re-run only the dirty ones while preserving the exact per-function event
+    order of this loop.
+    """
     if ctx.opt_level <= 0:
         return
     for fn in list(module.functions.values()):
-        changed = True
-        rounds = 0
-        while changed and rounds < 4:
-            rounds += 1
-            changed = False
-            changed |= const_fold(fn, ctx)
-            changed |= simplify_cfg(fn, ctx)
-            changed |= forward_store(fn, ctx)
-            changed |= cse(fn, ctx)
-            changed |= dce(fn, ctx)
-        ctx.stats.bump("opt_rounds", rounds)
+        local_opt(fn, ctx)
     if ctx.opt_level >= 2:
-        inline_small_functions(module, ctx)
-        strlen_opt(module, ctx)
+        candidates = inline_candidates(module)
+        if candidates:
+            for caller in module.functions.values():
+                inline_into_caller(caller, candidates, ctx)
+        for fn in module.functions.values():
+            strlen_opt_fn(fn, module, ctx)
         for fn in list(module.functions.values()):
-            const_fold(fn, ctx)
-            simplify_cfg(fn, ctx)
-            dce(fn, ctx)
+            cleanup_opt(fn, ctx)
     if ctx.opt_level >= 3 or ctx.flag("-ftree-vectorize"):
         for fn in list(module.functions.values()):
             loop_vectorize(fn, ctx)

@@ -13,8 +13,14 @@ from repro.compiler.ir import Block, IRFunction, Operand, Temp
 @dataclass
 class OptStats:
     counters: Counter = field(default_factory=Counter)
+    #: Optional event sink mirroring :attr:`CoverageMap.journal`: every bump
+    #: is appended as ``("stat", key, n)`` so the incremental middle end can
+    #: replay an unchanged function's statistics without re-running passes.
+    journal: list | None = field(default=None, repr=False, compare=False)
 
     def bump(self, key: str, n: int = 1) -> None:
+        if self.journal is not None:
+            self.journal.append(("stat", key, n))
         self.counters[key] += n
 
     def get(self, key: str, default: int = 0) -> int:

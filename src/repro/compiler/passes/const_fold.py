@@ -142,7 +142,12 @@ def const_fold(fn: IRFunction, ctx: OptContext) -> bool:
                 if instr.to_ty.is_float:
                     imm = ImmFloat(float(v))
                 elif instr.to_ty.is_int:
-                    imm = ImmInt(_wrap(int(v), instr.to_ty))
+                    # Mirror the interpreter: unsigned casts zero-extend (the
+                    # value stays the non-negative representation).
+                    iv = _wrap(int(v), instr.to_ty)
+                    if not instr.signed:
+                        iv &= (1 << instr.to_ty.bits) - 1
+                    imm = ImmInt(iv)
                 else:
                     imm = ImmInt(int(v))
                 mapping[instr.dst] = imm

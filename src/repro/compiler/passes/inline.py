@@ -43,66 +43,78 @@ def _max_temp(fn: IRFunction) -> int:
     return best
 
 
+def inline_candidates(module: IRModule) -> dict[str, IRFunction]:
+    """The module's inlinable callees, keyed by name (computed up front)."""
+    return {name: fn for name, fn in module.functions.items() if _inlinable(fn)}
+
+
 def inline_small_functions(module: IRModule, ctx: OptContext) -> bool:
-    changed = False
-    candidates = {
-        name: fn for name, fn in module.functions.items() if _inlinable(fn)
-    }
+    candidates = inline_candidates(module)
     if not candidates:
         return False
+    changed = False
     for caller in module.functions.values():
-        next_temp = _max_temp(caller) + 1
-        for block in caller.blocks:
-            new_instrs = []
-            for instr in block.instrs:
-                if not (
-                    isinstance(instr, Call)
-                    and instr.callee in candidates
-                    and instr.callee != caller.name
-                ):
-                    new_instrs.append(instr)
-                    continue
-                callee = candidates[instr.callee]
-                remap: dict[int, Temp] = {}
+        changed |= inline_into_caller(caller, candidates, ctx)
+    return changed
 
-                def temp_for(index: int) -> Temp:
-                    nonlocal next_temp
-                    if index not in remap:
-                        remap[index] = Temp(next_temp)
-                        next_temp += 1
-                    return remap[index]
 
-                # Parameter sentinels map to the call's argument operands.
-                arg_map = {
-                    -(i + 1): arg for i, arg in enumerate(instr.args)
-                }
-                ret_value = None
-                for callee_instr in callee.blocks[0].instrs:
-                    cloned = copy.deepcopy(callee_instr)
-                    mapping = {}
-                    for op in cloned.operands():
-                        if isinstance(op, Temp):
-                            if op.index in arg_map:
-                                mapping[op] = arg_map[op.index]
-                            else:
-                                mapping[op] = temp_for(op.index)
-                    cloned.replace_operands(mapping)
-                    if isinstance(cloned, Ret):
-                        ret_value = cloned.value
-                        break
-                    dst = cloned.dest()
-                    if dst is not None:
-                        new_dst = temp_for(dst.index)
-                        _set_dest(cloned, new_dst)
-                    new_instrs.append(cloned)
-                if instr.dst is not None:
-                    src = ret_value if ret_value is not None else ImmInt(0)
-                    ty = instr.ret_ty if instr.ret_ty is not IRType.VOID else IRType.I64
-                    new_instrs.append(Cast(instr.dst, src, ty, ty))
-                ctx.cov.hit("opt:inline", instr.callee == "main")
-                ctx.stats.bump("inlined")
-                changed = True
-            block.instrs = new_instrs
+def inline_into_caller(
+    caller: IRFunction, candidates: dict[str, IRFunction], ctx: OptContext
+) -> bool:
+    """Inline candidate callees into one caller (the per-caller loop body)."""
+    changed = False
+    next_temp = _max_temp(caller) + 1
+    for block in caller.blocks:
+        new_instrs = []
+        for instr in block.instrs:
+            if not (
+                isinstance(instr, Call)
+                and instr.callee in candidates
+                and instr.callee != caller.name
+            ):
+                new_instrs.append(instr)
+                continue
+            callee = candidates[instr.callee]
+            remap: dict[int, Temp] = {}
+
+            def temp_for(index: int) -> Temp:
+                nonlocal next_temp
+                if index not in remap:
+                    remap[index] = Temp(next_temp)
+                    next_temp += 1
+                return remap[index]
+
+            # Parameter sentinels map to the call's argument operands.
+            arg_map = {
+                -(i + 1): arg for i, arg in enumerate(instr.args)
+            }
+            ret_value = None
+            for callee_instr in callee.blocks[0].instrs:
+                cloned = copy.deepcopy(callee_instr)
+                mapping = {}
+                for op in cloned.operands():
+                    if isinstance(op, Temp):
+                        if op.index in arg_map:
+                            mapping[op] = arg_map[op.index]
+                        else:
+                            mapping[op] = temp_for(op.index)
+                cloned.replace_operands(mapping)
+                if isinstance(cloned, Ret):
+                    ret_value = cloned.value
+                    break
+                dst = cloned.dest()
+                if dst is not None:
+                    new_dst = temp_for(dst.index)
+                    _set_dest(cloned, new_dst)
+                new_instrs.append(cloned)
+            if instr.dst is not None:
+                src = ret_value if ret_value is not None else ImmInt(0)
+                ty = instr.ret_ty if instr.ret_ty is not IRType.VOID else IRType.I64
+                new_instrs.append(Cast(instr.dst, src, ty, ty))
+            ctx.cov.hit("opt:inline", instr.callee == "main")
+            ctx.stats.bump("inlined")
+            changed = True
+        block.instrs = new_instrs
     return changed
 
 

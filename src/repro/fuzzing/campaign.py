@@ -101,6 +101,9 @@ def make_fuzzer(
     registry: MutatorRegistry,
     rng: random.Random,
     quarantine_threshold: int | None = None,
+    cache_maxsize: int | None = None,
+    incremental: bool = True,
+    paranoid: bool = False,
 ) -> Fuzzer:
     """Instantiate one of the six evaluated fuzzers by its paper name."""
     quarantine = (
@@ -111,12 +114,14 @@ def make_fuzzer(
     if name == "uCFuzz.s":
         return MuCFuzz(
             compiler, rng, seeds, registry.supervised(), name=name,
-            quarantine=quarantine,
+            quarantine=quarantine, cache_maxsize=cache_maxsize,
+            incremental=incremental, paranoid=paranoid,
         )
     if name == "uCFuzz.u":
         return MuCFuzz(
             compiler, rng, seeds, registry.unsupervised(), name=name,
-            quarantine=quarantine,
+            quarantine=quarantine, cache_maxsize=cache_maxsize,
+            incremental=incremental, paranoid=paranoid,
         )
     if name == "AFL++":
         return AFLPlusPlus(compiler, rng, seeds)
@@ -155,6 +160,10 @@ def run_campaign(
             result.coverage_trend.append((vhour, len(fuzzer.coverage)))
     result.throughput_total = int(virtual_hours * 3600 / fuzzer.step_cost)
     result.stats = fuzzer.stats_snapshot()
+    # Wall-clock profile: real and machine-dependent, so it would break the
+    # serial==parallel determinism contract on campaign results.  The bench
+    # reports it instead.
+    result.stats.pop("stage_timings", None)
     return result
 
 
@@ -168,6 +177,12 @@ class Campaign:
     steps: int = 600
     base_seed: int = 2024
     quarantine_threshold: int | None = None
+    #: Front-end cache capacity per cell (None = FrontendCache default).
+    cache_maxsize: int | None = None
+    #: Incremental (dirty-region + function-granular) compilation per cell.
+    incremental: bool = True
+    #: Differentially check every incremental compile (slow; CI/tests only).
+    paranoid: bool = False
 
     def cell_specs(
         self,
@@ -192,6 +207,9 @@ class Campaign:
                 cell_seed=stable_cell_seed(name, compiler.name, self.base_seed),
                 registry=registry,
                 quarantine_threshold=self.quarantine_threshold,
+                cache_maxsize=self.cache_maxsize,
+                incremental=self.incremental,
+                paranoid=self.paranoid,
             )
             for compiler in self.compilers
             for name in fuzzer_names

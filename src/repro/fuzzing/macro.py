@@ -43,6 +43,9 @@ class MacroFuzzer(CoverageGuidedFuzzer):
         *,
         cache: FrontendCache | None = None,
         use_cache: bool = True,
+        cache_maxsize: int | None = None,
+        incremental: bool = True,
+        paranoid: bool = False,
         quarantine: MutatorQuarantine | None = None,
     ) -> None:
         super().__init__(compiler, rng, seeds)
@@ -51,9 +54,18 @@ class MacroFuzzer(CoverageGuidedFuzzer):
             self.coverage = shared_coverage  # enhancement 3
         # Havoc re-front-ends the intermediate mutant of every round; the
         # shared cache makes rounds after the first nearly free.
-        self.cache = cache if cache is not None else (
-            FrontendCache() if use_cache else None
-        )
+        if cache is not None:
+            self.cache = cache
+        elif use_cache:
+            self.cache = (
+                FrontendCache(maxsize=cache_maxsize)
+                if cache_maxsize is not None
+                else FrontendCache()
+            )
+        else:
+            self.cache = None
+        self.incremental = incremental and self.cache is not None
+        self.paranoid = paranoid
         self.quarantine = quarantine
 
     def sample_options(self) -> tuple[int, tuple[str, ...]]:
@@ -71,6 +83,11 @@ class MacroFuzzer(CoverageGuidedFuzzer):
         events_before = (
             len(self.quarantine.events) if self.quarantine is not None else 0
         )
+        # Havoc chains mutations, so the incremental parent of the final
+        # compile is the *last* intermediate text (already front-ended into
+        # the cache by apply_mutator), not the pool parent.
+        base_text: str | None = None
+        last_edits: tuple = ()
         for _ in range(rounds):
             info = self.mutators[self.rng.randrange(len(self.mutators))]
             if self.quarantine is not None and not self.quarantine.allows(
@@ -78,12 +95,23 @@ class MacroFuzzer(CoverageGuidedFuzzer):
             ):
                 continue
             mutated = self._mutate(mutant, info)
-            if mutated is not None and len(mutated) <= MAX_MUTANT_BYTES:
-                mutant = mutated
+            if mutated is not None and len(mutated[0]) <= MAX_MUTANT_BYTES:
+                base_text = mutant
+                mutant, last_edits = mutated
                 applied.append(info.name)
         opt_level, flags = self.sample_options()
+        edits_from = (
+            (base_text, last_edits)
+            if self.incremental and base_text is not None
+            else None
+        )
         result = self.compiler.compile(
-            mutant, opt_level=opt_level, flags=flags, cache=self.cache
+            mutant,
+            opt_level=opt_level,
+            flags=flags,
+            cache=self.cache,
+            edits_from=edits_from,
+            paranoid=self.paranoid,
         )
         kept = False
         if applied:
@@ -103,7 +131,8 @@ class MacroFuzzer(CoverageGuidedFuzzer):
             }
         return step
 
-    def _mutate(self, text: str, info: MutatorInfo) -> str | None:
+    def _mutate(self, text: str, info: MutatorInfo) -> tuple[str, tuple] | None:
+        """The mutated text plus its edit script, or None on failure/no-op."""
         mutator = info.create(random.Random(self.rng.randrange(1 << 62)))
         try:
             outcome = apply_mutator(mutator, text, cache=self.cache)
@@ -113,4 +142,6 @@ class MacroFuzzer(CoverageGuidedFuzzer):
             return None
         if self.quarantine is not None:
             self.quarantine.record_success(info.name)
-        return outcome.mutant_text if outcome.changed else None
+        if not outcome.changed:
+            return None
+        return outcome.mutant_text, outcome.edits

@@ -42,14 +42,29 @@ class MuCFuzz(CoverageGuidedFuzzer):
         *,
         cache: FrontendCache | None = None,
         use_cache: bool = True,
+        cache_maxsize: int | None = None,
+        incremental: bool = True,
+        paranoid: bool = False,
         quarantine: MutatorQuarantine | None = None,
     ) -> None:
         super().__init__(compiler, rng, seeds)
         self.mutators = list(mutators)
         self.name = name
-        self.cache = cache if cache is not None else (
-            FrontendCache() if use_cache else None
-        )
+        if cache is not None:
+            self.cache = cache
+        elif use_cache:
+            self.cache = (
+                FrontendCache(maxsize=cache_maxsize)
+                if cache_maxsize is not None
+                else FrontendCache()
+            )
+        else:
+            self.cache = None
+        #: Feed mutant edit scripts to the compiler for dirty-region
+        #: front-end reuse and function-granular middle-end replay.
+        self.incremental = incremental and self.cache is not None
+        #: Cross-check every cached/incremental compile against a full one.
+        self.paranoid = paranoid
         self.quarantine = quarantine
         self.stats = {
             "steps": 0,
@@ -62,6 +77,14 @@ class MuCFuzz(CoverageGuidedFuzzer):
         snap = super().stats_snapshot()
         if self.cache is not None:
             snap.update(self.cache.stats())
+        snap["middle_incremental_hits"] = self.compiler.middle_incremental_hits
+        snap["middle_incremental_fallbacks"] = (
+            self.compiler.middle_incremental_fallbacks
+        )
+        snap["stage_timings"] = {
+            stage: round(seconds, 4)
+            for stage, seconds in sorted(self.compiler.stage_timings.items())
+        }
         steps = snap.get("steps", 0)
         snap["attempts_per_step"] = snap["attempts"] / steps if steps else 0.0
         return snap
@@ -87,11 +110,17 @@ class MuCFuzz(CoverageGuidedFuzzer):
                 self.stats["quarantine_skips"] += 1
                 continue
             self.stats["attempts"] += 1
-            mutant = self._mutate(parent.text, info)
-            if mutant is None or mutant == parent.text:
+            mutated = self._mutate(parent.text, info)
+            if mutated is None or mutated[0] == parent.text:
                 self.stats["unchanged"] += 1
                 continue
-            result = self.compiler.compile(mutant, cache=self.cache)
+            mutant, edits = mutated
+            result = self.compiler.compile(
+                mutant,
+                cache=self.cache,
+                edits_from=(parent.text, edits) if self.incremental else None,
+                paranoid=self.paranoid,
+            )
             kept = self.keep_if_new_coverage(mutant, result, parent, info.name)
             self.coverage.merge(result.coverage)
             last = StepResult(mutant, result, kept=kept, mutator=info.name)
@@ -100,7 +129,9 @@ class MuCFuzz(CoverageGuidedFuzzer):
         if last is not None:
             return self._finish(last, attempts_before, cache_before, events_before)
         # Nothing mutated this round; recompile the parent (a no-op round).
-        result = self.compiler.compile(parent.text, cache=self.cache)
+        result = self.compiler.compile(
+            parent.text, cache=self.cache, paranoid=self.paranoid
+        )
         self.coverage.merge(result.coverage)
         return self._finish(
             StepResult(parent.text, result, kept=False, mutator=None),
@@ -127,7 +158,8 @@ class MuCFuzz(CoverageGuidedFuzzer):
             ]
         return step
 
-    def _mutate(self, text: str, info: MutatorInfo) -> str | None:
+    def _mutate(self, text: str, info: MutatorInfo) -> tuple[str, tuple] | None:
+        """The mutated text plus its edit script, or None on failure/no-op."""
         mutator = info.create(random.Random(self.rng.randrange(1 << 62)))
         try:
             outcome = apply_mutator(mutator, text, cache=self.cache)
@@ -140,4 +172,4 @@ class MuCFuzz(CoverageGuidedFuzzer):
             self.quarantine.record_success(info.name)
         if not outcome.changed:
             return None
-        return outcome.mutant_text
+        return outcome.mutant_text, outcome.edits

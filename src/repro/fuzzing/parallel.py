@@ -78,6 +78,12 @@ class CellSpec:
     #: Consecutive crash/hang threshold for the per-mutator circuit
     #: breaker; None leaves quarantine off (the historical behaviour).
     quarantine_threshold: int | None = None
+    #: Front-end cache capacity for the cell's fuzzer (None = default).
+    cache_maxsize: int | None = None
+    #: Feed mutant edit scripts to the compiler for incremental reuse.
+    incremental: bool = True
+    #: Cross-check every incremental compile against a full one (CI/tests).
+    paranoid: bool = False
     #: Test/CI-only injected fault (fired by :func:`run_cell`).
     fault: CellFault | None = None
     #: Which execution attempt this is (set by the resilient runner on
@@ -103,6 +109,9 @@ def cell_key(spec: CellSpec) -> str:
         spec.virtual_hours,
         spec.sample_points,
         spec.quarantine_threshold,
+        spec.cache_maxsize,
+        spec.incremental,
+        spec.paranoid,
     )
     digest = hashlib.sha1(repr(ident).encode("utf-8")).hexdigest()
     return f"{spec.fuzzer_name}-{spec.personality}-{digest[:16]}"
@@ -170,6 +179,9 @@ def run_cell(spec: CellSpec) -> "CampaignResult":
         registry,
         random.Random(spec.cell_seed),
         quarantine_threshold=spec.quarantine_threshold,
+        cache_maxsize=spec.cache_maxsize,
+        incremental=spec.incremental,
+        paranoid=spec.paranoid,
     )
     return run_campaign(
         fuzzer, spec.steps, spec.virtual_hours, spec.sample_points

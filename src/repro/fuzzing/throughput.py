@@ -1,16 +1,23 @@
-"""Fuzzing-throughput measurement: steps/sec with the cache on vs. off.
+"""Fuzzing-throughput measurement: uncached vs. cached vs. incremental.
 
-The perf contract of the front-end cache is measured here: the same μCFuzz
-run (same compiler, seeds, RNG seed — hence an identical step sequence) is
-executed uncached and cached in one process, and the steps/sec ratio plus
-the cache hit-rate are written to ``BENCH_throughput.json`` so successive
-PRs accumulate a perf trajectory.
+The perf contract of the incremental pipeline is measured here: the same
+μCFuzz run (same compiler, seeds, RNG seed — hence an identical step
+sequence) is executed three ways in one process — front end uncached,
+front-end cache only, and fully incremental (dirty-region front end plus
+function-granular middle-end replay) — and the steps/sec ratios, cache
+hit-rates, and per-stage timing breakdown are written to
+``BENCH_throughput.json`` so successive PRs accumulate a perf trajectory.
+The three runs must land on identical final coverage and pool sizes: the
+speedup changes no observable result.
 
 Entry points:
 
 * ``python benchmarks/bench_fuzzer_throughput.py`` — the full 600-step run;
 * ``bench-smoke`` (``pyproject.toml`` script) / :func:`smoke_main` — a tiny
-  step budget that asserts the cache is actually hitting (tier-2 CI smoke).
+  step budget that asserts the caches are actually hitting (tier-2 CI);
+* ``paranoid-smoke`` / :func:`paranoid_main` — a paranoid-mode run where
+  every incremental compile is differentially checked against a
+  from-scratch compile; any divergence raises.
 """
 
 from __future__ import annotations
@@ -28,7 +35,15 @@ DEFAULT_SEEDS = 40
 DEFAULT_REPORT = "BENCH_throughput.json"
 
 
-def _build_fuzzer(fuzzer_name: str, seeds: list[str], seed: int, use_cache: bool):
+def _build_fuzzer(
+    fuzzer_name: str,
+    seeds: list[str],
+    seed: int,
+    use_cache: bool,
+    incremental: bool = False,
+    paranoid: bool = False,
+    cache_maxsize: int | None = None,
+):
     import repro.mutators  # noqa: F401  (populate the registry)
     from repro.compiler.driver import Compiler, GCC_SIM
     from repro.fuzzing.mucfuzz import MuCFuzz
@@ -47,6 +62,9 @@ def _build_fuzzer(fuzzer_name: str, seeds: list[str], seed: int, use_cache: bool
         mutators,
         name=fuzzer_name,
         use_cache=use_cache,
+        cache_maxsize=cache_maxsize,
+        incremental=incremental,
+        paranoid=paranoid,
     )
 
 
@@ -82,29 +100,57 @@ def measure_throughput(
     n_seeds: int = DEFAULT_SEEDS,
     seed: int = 2024,
 ) -> dict:
-    """Run the cache-off and cache-on variants and compare steps/sec.
+    """Run the uncached, cached, and incremental variants and compare.
 
-    Both runs use the same RNG seed; caching does not consume fuzzer
-    randomness, so they execute the identical step sequence and the
-    comparison is apples-to-apples (also sanity-checked via coverage).
+    All runs use the same RNG seed; neither caching nor incremental
+    compilation consumes fuzzer randomness, so they execute the identical
+    step sequence and the comparison is apples-to-apples (also
+    sanity-checked via final coverage and pool size, which must match
+    exactly across all three variants).
     """
     from repro.fuzzing.seedgen import generate_seeds
 
     seeds = generate_seeds(n_seeds)
     report: dict = {"fuzzer": fuzzer_name, "seed": seed, "n_seeds": n_seeds}
-    for label, use_cache in (("uncached", False), ("cached", True)):
-        fuzzer = _build_fuzzer(fuzzer_name, seeds, seed, use_cache)
+    variants = (
+        ("uncached", False, False),
+        ("cached", True, False),
+        ("incremental", True, True),
+    )
+    for label, use_cache, incremental in variants:
+        fuzzer = _build_fuzzer(
+            fuzzer_name, seeds, seed, use_cache, incremental=incremental
+        )
         report[label] = _time_run(fuzzer, steps)
-    assert (
-        report["cached"]["final_coverage"] == report["uncached"]["final_coverage"]
-    ), "cache changed fuzzing behaviour"
+    for label in ("cached", "incremental"):
+        assert (
+            report[label]["final_coverage"]
+            == report["uncached"]["final_coverage"]
+        ), f"{label} run changed fuzzing coverage"
+        assert (
+            report[label]["pool_size"] == report["uncached"]["pool_size"]
+        ), f"{label} run changed the mutant pool"
     uncached_sps = report["uncached"]["steps_per_sec"]
-    report["speedup"] = (
-        round(report["cached"]["steps_per_sec"] / uncached_sps, 3)
-        if uncached_sps
-        else 0.0
+
+    def _ratio(a: float, b: float) -> float:
+        return round(a / b, 3) if b else 0.0
+
+    report["speedup"] = _ratio(report["cached"]["steps_per_sec"], uncached_sps)
+    report["speedup_incremental"] = _ratio(
+        report["incremental"]["steps_per_sec"], uncached_sps
+    )
+    report["speedup_incremental_vs_cached"] = _ratio(
+        report["incremental"]["steps_per_sec"],
+        report["cached"]["steps_per_sec"],
     )
     report["cache_hit_rate"] = report["cached"]["stats"].get("cache_hit_rate", 0.0)
+    inc_stats = report["incremental"]["stats"]
+    report["incremental_hit_rate"] = _ratio(
+        inc_stats.get("cache_incremental_hits", 0),
+        inc_stats.get("cache_incremental_hits", 0)
+        + inc_stats.get("cache_incremental_fallbacks", 0),
+    )
+    report["stage_timings"] = inc_stats.get("stage_timings", {})
     return report
 
 
@@ -119,8 +165,10 @@ def run(steps: int, output: str | Path, fuzzer_name: str = "uCFuzz.s") -> dict:
     path = write_report(report, output)
     print(
         f"{report['fuzzer']}: {report['uncached']['steps_per_sec']} -> "
-        f"{report['cached']['steps_per_sec']} steps/sec "
-        f"(speedup {report['speedup']}x, "
+        f"{report['cached']['steps_per_sec']} (cached) -> "
+        f"{report['incremental']['steps_per_sec']} (incremental) steps/sec "
+        f"(incremental speedup {report['speedup_incremental']}x over "
+        f"uncached, {report['speedup_incremental_vs_cached']}x over cached, "
         f"cache hit-rate {report['cache_hit_rate']:.2%}) -> {path}"
     )
     return report
@@ -137,7 +185,7 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def smoke_main(argv: list[str] | None = None) -> int:
-    """Tiny-budget CI smoke: the cache must be hitting on the hot path."""
+    """Tiny-budget CI smoke: the caches must be hitting on the hot path."""
     parser = argparse.ArgumentParser(description="bench-smoke")
     parser.add_argument("--steps", type=int, default=40)
     parser.add_argument("--output", default=DEFAULT_REPORT)
@@ -145,6 +193,45 @@ def smoke_main(argv: list[str] | None = None) -> int:
     report = run(args.steps, args.output)
     if report["cache_hit_rate"] <= 0:
         raise SystemExit("bench-smoke: cache hit-rate is 0 on the hot path")
+    inc_stats = report["incremental"]["stats"]
+    if inc_stats.get("cache_incremental_hits", 0) <= 0:
+        raise SystemExit("bench-smoke: incremental front end never hit")
+    return 0
+
+
+def paranoid_main(argv: list[str] | None = None) -> int:
+    """Differential smoke: every incremental compile is cross-checked.
+
+    Runs μCFuzz with ``paranoid=True`` — each cached/incremental compile is
+    recompiled from scratch and compared field-for-field; any divergence
+    raises :class:`~repro.cast.incremental.IncrementalDivergence` and fails
+    the run.  Gating is on zero divergences, not on throughput.
+    """
+    parser = argparse.ArgumentParser(description="paranoid-smoke")
+    parser.add_argument("--steps", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=2024)
+    args = parser.parse_args(argv)
+    from repro.fuzzing.seedgen import generate_seeds
+
+    seeds = generate_seeds(DEFAULT_SEEDS)
+    fuzzer = _build_fuzzer(
+        "uCFuzz.s", seeds, args.seed, True, incremental=True, paranoid=True
+    )
+    for _ in range(args.steps):
+        fuzzer.step()  # IncrementalDivergence propagates and fails the job
+    stats = fuzzer.stats_snapshot()
+    inc_hits = stats.get("cache_incremental_hits", 0)
+    middle_hits = stats.get("middle_incremental_hits", 0)
+    print(
+        f"paranoid-smoke: {args.steps} steps, 0 divergences, "
+        f"{stats.get('cache_paranoid_checks', 0)} front-end checks, "
+        f"{inc_hits} incremental front ends, "
+        f"{middle_hits} middle-end replays"
+    )
+    if inc_hits <= 0 or middle_hits <= 0:
+        raise SystemExit(
+            "paranoid-smoke: the incremental path was never exercised"
+        )
     return 0
 
 

@@ -313,6 +313,10 @@ class MutationOutcome:
     changed: bool
     mutant_text: str | None
     error: str | None = None
+    #: The rewriter's edit script (``(begin, end, replacement)`` spans in
+    #: parent coordinates) when the mutant was produced by textual rewriting;
+    #: lets ``Compiler.compile`` take the incremental front-end path.
+    edits: tuple = ()
 
 
 def context_for_entry(entry: FrontendEntry) -> ASTContext:
@@ -384,4 +388,6 @@ def apply_mutator(
     if not rewriter.has_edits:
         # Claimed a change but made no edits: surfaced as "does not rewrite".
         return MutationOutcome(True, program_text)
-    return MutationOutcome(True, rewriter.rewritten_text())
+    return MutationOutcome(
+        True, rewriter.rewritten_text(), edits=rewriter.edit_script()
+    )

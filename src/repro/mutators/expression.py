@@ -172,31 +172,66 @@ class CopyExpr(Mutator, ASTVisitor):
             for n in ctx.nodes_of_class(ast.VarDecl)
             if n.init is not None and n.type.is_array()
         }
-        sources = [(e, dec, dec.is_integer()) for e, dec in sources]
-        compat: dict[tuple[int, int], bool] = {}
+        # Canonicalize decayed types structurally (they are frozen, hashable
+        # dataclasses): distinct node objects with equal types share one
+        # compat verdict, instead of one per object-identity pair.
+        canon: dict = {}
+        reps: list = []
+
+        def _canon(qt) -> int:
+            i = canon.get(qt)
+            if i is None:
+                i = len(canon)
+                canon[qt] = i
+                reps.append(qt)
+            return i
+
+        sources = [
+            (
+                e,
+                (e.range.begin.offset, e.range.end.offset),
+                dec.is_integer(),
+                _canon(dec),
+            )
+            for e, dec in sources
+        ]
+        # Per distinct target type: the compatible sources, in source order
+        # (and the integer-valued subset, for array-subscript targets).
+        # Compare decayed types: copying an array-typed global over a
+        # string-literal argument is the paper's sprintf/strlen case.
+        ok_cache: dict[int, tuple[list, list]] = {}
+
+        def _ok_sources(tgt_key: int, tgt_decayed) -> tuple[list, list]:
+            pair = ok_cache.get(tgt_key)
+            if pair is None:
+                verdicts = [ct.assignable(tgt_decayed, rep) for rep in reps]
+                all_ok = [
+                    (span, src)
+                    for src, span, _, src_key in sources
+                    if verdicts[src_key]
+                ]
+                int_ok = [
+                    (span, src)
+                    for src, span, src_integer, src_key in sources
+                    if verdicts[src_key] and src_integer
+                ]
+                pair = (all_ok, int_ok)
+                ok_cache[tgt_key] = pair
+            return pair
+
         instances: list[tuple[ast.Expr, ast.Expr]] = []
         for tgt in targets:
             if id(tgt) in array_init_ids:
                 continue
             tgt_decayed = tgt.type.decayed()
-            tgt_key = id(tgt.type)
-            tgt_indexed = id(tgt) in index_ids
-            for src, src_decayed, src_integer in sources:
-                if src is tgt or src.range == tgt.range:
-                    continue
-                key = (tgt_key, id(src.type))
-                ok = compat.get(key)
-                if ok is None:
-                    # Compare decayed types: copying an array-typed global
-                    # over a string-literal argument is the paper's
-                    # sprintf/strlen case.
-                    ok = ct.assignable(tgt_decayed, src_decayed)
-                    compat[key] = ok
-                if not ok:
-                    continue
-                if tgt_indexed and not src_integer:
-                    continue  # array subscripts must stay integers
-                instances.append((tgt, src))
+            tgt_key = _canon(tgt_decayed)
+            all_ok, int_ok = _ok_sources(tgt_key, tgt_decayed)
+            # Array subscripts must stay integers.
+            candidates = int_ok if id(tgt) in index_ids else all_ok
+            tgt_span = (tgt.range.begin.offset, tgt.range.end.offset)
+            for span, src in candidates:
+                if span != tgt_span:
+                    instances.append((tgt, src))
         ctx.memo["CopyExpr.instances"] = instances
         return instances
 
