@@ -27,7 +27,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
 
-import time
+from repro.telemetry.spans import Tracer, span
 
 from repro.cast import ast_nodes as ast
 from repro.cast.incremental import (
@@ -93,40 +93,37 @@ class FrontendEntry:
 def analyze_front_end(
     text: str,
     source_hash: str | None = None,
-    timings: "dict | None" = None,
+    tracer: "Tracer | None" = None,
 ) -> FrontendEntry:
     """Run the full front end (lex, parse, sema) on ``text``.
 
     Mirrors the uncached pipeline exactly: best-effort lexing keeps the token
     prefix for coverage attribution, a lex failure makes the parser re-lex so
     its diagnostic matches the from-scratch path, and semantic analysis runs
-    only on parsed units.  ``timings`` (a Counter-like mapping) accumulates
-    per-stage wall-clock seconds under ``lex``/``parse``/``sema``.
+    only on parsed units.  ``tracer`` (usually the compiler's) records one
+    span per stage — ``lex``/``parse``/``sema`` — accumulating wall-clock
+    seconds into its timings mapping; ``tracer=None`` skips even the clock
+    reads.
     """
-    t0 = time.perf_counter()
-    source = SourceFile(text)
-    prefix, lex_error = Lexer(source).tokens_best_effort()
+    with span(tracer, "lex"):
+        source = SourceFile(text)
+        prefix, lex_error = Lexer(source).tokens_best_effort()
     tokens = None if lex_error is not None else prefix
-    t1 = time.perf_counter()
     unit: ast.TranslationUnit | None = None
     parse_error: str | None = None
     parse_recursion = False
-    try:
-        unit = Parser(source, tokens=tokens).parse()
-    except (ParseError, RecursionError) as exc:
-        parse_error = str(exc)
-        parse_recursion = isinstance(exc, RecursionError)
-    t2 = time.perf_counter()
+    with span(tracer, "parse"):
+        try:
+            unit = Parser(source, tokens=tokens).parse()
+        except (ParseError, RecursionError) as exc:
+            parse_error = str(exc)
+            parse_recursion = isinstance(exc, RecursionError)
     sema: Sema | None = None
     sema_diags: list[Diagnostic] = []
     if unit is not None:
-        sema = Sema()
-        sema_diags = sema.analyze(unit)
-    if timings is not None:
-        t3 = time.perf_counter()
-        timings["lex"] = timings.get("lex", 0.0) + (t1 - t0)
-        timings["parse"] = timings.get("parse", 0.0) + (t2 - t1)
-        timings["sema"] = timings.get("sema", 0.0) + (t3 - t2)
+        with span(tracer, "sema"):
+            sema = Sema()
+            sema_diags = sema.analyze(unit)
     return FrontendEntry(
         source_hash=source_hash if source_hash is not None else source_digest(text),
         source=source,
@@ -179,7 +176,7 @@ class FrontendCache:
             self.evictions += 1
 
     def front_end(
-        self, text: str, timings: "dict | None" = None
+        self, text: str, tracer: "Tracer | None" = None
     ) -> FrontendEntry:
         """The cached front-end result for ``text``, computing on miss."""
         key = source_digest(text)
@@ -188,7 +185,7 @@ class FrontendCache:
             self.hits += 1
             return entry
         self.misses += 1
-        entry = analyze_front_end(text, source_hash=key, timings=timings)
+        entry = analyze_front_end(text, source_hash=key, tracer=tracer)
         self._store(key, entry)
         return entry
 
@@ -203,7 +200,7 @@ class FrontendCache:
         edits,
         *,
         paranoid: bool = False,
-        timings: "dict | None" = None,
+        tracer: "Tracer | None" = None,
     ) -> "tuple[FrontendEntry, IncrementalPlan | None]":
         """Front-end a mutant, reusing ``parent``'s entry where possible.
 
@@ -222,18 +219,14 @@ class FrontendCache:
         self.misses += 1
         built = None
         if parent is not None and edits:
-            t0 = time.perf_counter()
-            try:
-                built = incremental_front_end(text, parent, edits)
-            except RecursionError:
-                built = None
-            if timings is not None:
-                timings["frontend_incremental"] = timings.get(
-                    "frontend_incremental", 0.0
-                ) + (time.perf_counter() - t0)
+            with span(tracer, "frontend_incremental"):
+                try:
+                    built = incremental_front_end(text, parent, edits)
+                except RecursionError:
+                    built = None
         if built is None:
             self.incremental_fallbacks += 1
-            entry = analyze_front_end(text, source_hash=key, timings=timings)
+            entry = analyze_front_end(text, source_hash=key, tracer=tracer)
             self._store(key, entry)
             return entry, None
         fields, plan = built

@@ -22,6 +22,7 @@ from repro.compiler.incremental import (
     lower_and_optimize,
 )
 from repro.compiler.ir import IRModule
+from repro.telemetry.spans import Tracer
 
 
 @dataclass
@@ -79,6 +80,9 @@ class Compiler:
         #: Wall-clock seconds per pipeline stage (lex/parse/sema via the
         #: cache, plus irgen/opt/backend), accumulated across compiles.
         self.stage_timings: Counter = Counter()
+        #: Stage spans accumulate into ``stage_timings``; a fuzzer's
+        #: telemetry session may attach its sink/clock for event emission.
+        self.tracer = Tracer(timings=self.stage_timings)
         #: Compiles served by function-granular middle-end replay, and
         #: incremental attempts that aborted back to a full middle end.
         self.middle_incremental_hits = 0
@@ -171,19 +175,19 @@ class Compiler:
         # because they depend on opt_level/flags.
         plan = None
         if cache is None:
-            entry = analyze_front_end(source_text, timings=self.stage_timings)
+            entry = analyze_front_end(source_text, tracer=self.tracer)
         elif edits_from is not None:
             parent_text, edits = edits_from
             parent_entry = cache.peek(parent_text) if edits else None
             if parent_entry is not None:
                 entry, plan = cache.front_end_incremental(
                     source_text, parent_entry, edits,
-                    paranoid=paranoid, timings=self.stage_timings,
+                    paranoid=paranoid, tracer=self.tracer,
                 )
             else:
-                entry = cache.front_end(source_text, timings=self.stage_timings)
+                entry = cache.front_end(source_text, tracer=self.tracer)
         else:
-            entry = cache.front_end(source_text, timings=self.stage_timings)
+            entry = cache.front_end(source_text, tracer=self.tracer)
         summary = _frontend_summary(entry, plan)
         cov.merge(summary.edges)
         features.update(summary.features)

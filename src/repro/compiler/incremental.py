@@ -36,7 +36,6 @@ bit-identical (:func:`assert_results_equal`).
 from __future__ import annotations
 
 import copy
-import time
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -55,6 +54,7 @@ from repro.compiler.passes import (
     strlen_opt_fn,
 )
 from repro.compiler.passes.inline import _inlinable
+from repro.telemetry.spans import span
 
 
 class _MiddleAbort(Exception):
@@ -482,11 +482,10 @@ def _run_middle(
         for ni, pi in enumerate(plan.decl_map):
             if pi is not None:
                 run.reuse[ni] = parent_memo.decl_records[pi]
-    t0 = time.perf_counter()
     try:
-        module = run.lower()
+        with span(compiler.tracer, "irgen"):
+            module = run.lower()
     except (LoweringError, RecursionError) as exc:
-        compiler.stage_timings["irgen"] += time.perf_counter() - t0
         result.diagnostics.append(f"sorry, unimplemented: {exc}")
         features["lowering_failed"] = 1
         compiler.bugs.check("ir-gen", features)
@@ -502,27 +501,24 @@ def _run_middle(
             )
             entry.memo[key] = run.memo
         return
-    compiler.stage_timings["irgen"] += time.perf_counter() - t0
     features.update(run.irgen.stats.counters)
     compiler.bugs.check("ir-gen", features)
 
-    t1 = time.perf_counter()
-    ctx = OptContext(
-        cov=cov,
-        opt_level=opt_level,
-        flags=compiler._personality_flags(flags),
-        checkpoint=run.checkpoint,
-    )
-    if journal is not None:
-        ctx.stats.journal = run.journal
-    run.optimize(module, ctx)
-    compiler.stage_timings["opt"] += time.perf_counter() - t1
+    with span(compiler.tracer, "opt"):
+        ctx = OptContext(
+            cov=cov,
+            opt_level=opt_level,
+            flags=compiler._personality_flags(flags),
+            checkpoint=run.checkpoint,
+        )
+        if journal is not None:
+            ctx.stats.journal = run.journal
+        run.optimize(module, ctx)
     features.update(ctx.stats.counters)
     compiler.bugs.check("optimization", features)
 
-    t2 = time.perf_counter()
-    be = run.backend(module, ctx)
-    compiler.stage_timings["backend"] += time.perf_counter() - t2
+    with span(compiler.tracer, "backend"):
+        be = run.backend(module, ctx)
     if stages is not None:
         stages.append("backend")
     features.update(be.stats)

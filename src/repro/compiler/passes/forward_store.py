@@ -3,14 +3,30 @@
 Within a block, a load from a slot that was just stored to — with no
 intervening call, memcpy, or store through an unknown pointer — is replaced
 by the stored value.  Volatile accesses are never forwarded.
+
+A store/load round trip through a narrow slot is *not* the identity: the
+store truncates to the slot's width and the signed load sign-extends back
+(``char c = 242; c == -14``).  Forwarding the raw stored operand would skip
+that narrowing, so integer forwards go through a same-type signed ``Cast``
+(folded away by const_fold when the operand is an immediate), and ``f32``
+slots — where the store rounds a double to float32 — are never forwarded.
 """
 
 from __future__ import annotations
 
 from repro.compiler.ir import (
-    Call, IRFunction, Load, LocalAddr, Memcpy, Store, Temp,
+    Call, Cast, ImmInt, IRFunction, IRType, Load, LocalAddr, Memcpy, Store,
+    Temp,
 )
 from repro.compiler.passes.common import OptContext, replace_uses
+
+
+def _wrap(value: int, ty: IRType) -> int:
+    bits = ty.bits
+    value &= (1 << bits) - 1
+    if value >= (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
 
 
 def forward_store(fn: IRFunction, ctx: OptContext) -> bool:
@@ -47,8 +63,21 @@ def forward_store(fn: IRFunction, ctx: OptContext) -> bool:
                 )
                 if slot is not None and slot in known:
                     value, ty = known[slot]
-                    if ty == instr.ty:
-                        mapping[instr.dst] = value
+                    if ty == instr.ty and ty is not IRType.F32:
+                        if ty.is_int and isinstance(value, ImmInt):
+                            mapping[instr.dst] = ImmInt(_wrap(value.value, ty))
+                        elif ty.is_int:
+                            kept.append(
+                                Cast(
+                                    dst=instr.dst,
+                                    src=value,
+                                    from_ty=ty,
+                                    to_ty=ty,
+                                    signed=True,
+                                )
+                            )
+                        else:  # ptr / f64 round-trip the slot unchanged
+                            mapping[instr.dst] = value
                         ctx.cov.hit("opt:fwdstore", instr.ty)
                         ctx.stats.bump("stores_forwarded")
                         changed = True

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from repro.compiler.driver import Compiler, CompileResult
 from repro.compiler.coverage import CoverageMap
 from repro.fuzzing.corpus import Corpus, ProgramEntry
+from repro.telemetry import TelemetrySession
 
 
 @dataclass
@@ -40,8 +41,12 @@ class Fuzzer:
         self.compiler = compiler
         self.rng = rng
         self.coverage = CoverageMap()
-        #: Cumulative execution counters; subclasses add their own keys.
-        self.stats: dict = {}
+        #: The run's telemetry (sink-less by default: deterministic metrics
+        #: and the wall profile only).  ``self.stats`` *is* the session
+        #: registry's counter mapping, so ``stats_snapshot()`` is a view
+        #: over the registry; subclasses add their own keys.
+        self.telemetry = TelemetrySession()
+        self.stats: dict = self.telemetry.metrics.counters
         #: Optional per-mutator circuit breaker
         #: (:class:`repro.resilience.circuit.MutatorQuarantine`); fuzzers
         #: that apply mutators consult and feed it.
@@ -50,12 +55,45 @@ class Fuzzer:
     def step(self) -> StepResult:
         raise NotImplementedError
 
+    def adopt_telemetry(self, session: TelemetrySession) -> None:
+        """Re-home this fuzzer's metrics onto an external (sinked) session.
+
+        Counters recorded so far carry over, the compiler's stage spans are
+        routed into the session's sink/clock, and ``self.stats`` keeps being
+        a registry view.  Adopting a session changes only where telemetry
+        lands, never the fuzzing results.
+        """
+        session.metrics.counters.update(self.stats)
+        session.metrics.wall.update(self.telemetry.metrics.wall)
+        self.telemetry = session
+        self.stats = session.metrics.counters
+        session.attach_compiler(self.compiler)
+
     def stats_snapshot(self) -> dict:
-        """A copy of the cumulative stats, for campaign reporting."""
+        """The cumulative *deterministic* stats, for campaign reporting.
+
+        Wall-clock profile data (stage timings, span durations) is excluded
+        here by construction — see :meth:`profile_snapshot` — so campaign
+        results can be compared across serial/parallel/incremental runs
+        without any caller stripping timing keys.
+        """
         snap = dict(self.stats)
         if self.quarantine is not None:
             snap.update(self.quarantine.stats())
         return snap
+
+    def profile_snapshot(self) -> dict:
+        """The wall-clock profile: real, machine-dependent, never compared."""
+        profile: dict = {
+            "stage_timings": {
+                stage: round(seconds, 4)
+                for stage, seconds in sorted(self.compiler.stage_timings.items())
+            }
+        }
+        spans = self.telemetry.metrics.wall_snapshot()
+        if spans:
+            profile["spans"] = spans
+        return profile
 
     def observe(self, step: StepResult) -> None:
         """Default coverage accounting (after the campaign recorded it)."""

@@ -15,6 +15,7 @@ from repro.compiler.driver import Compiler
 from repro.muast.registry import MutatorRegistry, global_registry
 from repro.resilience.circuit import MutatorQuarantine
 from repro.resilience.faultinject import CellFault
+from repro.telemetry import TelemetrySession
 
 # Importing the library populates the global registry with all 118 mutators.
 import repro.mutators  # noqa: F401  (registration side effect)
@@ -104,6 +105,7 @@ def make_fuzzer(
     cache_maxsize: int | None = None,
     incremental: bool = True,
     paranoid: bool = False,
+    telemetry: TelemetrySession | None = None,
 ) -> Fuzzer:
     """Instantiate one of the six evaluated fuzzers by its paper name."""
     quarantine = (
@@ -112,26 +114,30 @@ def make_fuzzer(
         else None
     )
     if name == "uCFuzz.s":
-        return MuCFuzz(
+        fuzzer: Fuzzer = MuCFuzz(
             compiler, rng, seeds, registry.supervised(), name=name,
             quarantine=quarantine, cache_maxsize=cache_maxsize,
             incremental=incremental, paranoid=paranoid,
         )
-    if name == "uCFuzz.u":
-        return MuCFuzz(
+    elif name == "uCFuzz.u":
+        fuzzer = MuCFuzz(
             compiler, rng, seeds, registry.unsupervised(), name=name,
             quarantine=quarantine, cache_maxsize=cache_maxsize,
             incremental=incremental, paranoid=paranoid,
         )
-    if name == "AFL++":
-        return AFLPlusPlus(compiler, rng, seeds)
-    if name == "GrayC":
-        return GrayCSim(compiler, rng, seeds)
-    if name == "Csmith":
-        return CsmithSim(compiler, rng)
-    if name == "YARPGen":
-        return YarpGenSim(compiler, rng)
-    raise ValueError(f"unknown fuzzer {name!r}")
+    elif name == "AFL++":
+        fuzzer = AFLPlusPlus(compiler, rng, seeds)
+    elif name == "GrayC":
+        fuzzer = GrayCSim(compiler, rng, seeds)
+    elif name == "Csmith":
+        fuzzer = CsmithSim(compiler, rng)
+    elif name == "YARPGen":
+        fuzzer = YarpGenSim(compiler, rng)
+    else:
+        raise ValueError(f"unknown fuzzer {name!r}")
+    if telemetry is not None:
+        fuzzer.adopt_telemetry(telemetry)
+    return fuzzer
 
 
 def run_campaign(
@@ -139,12 +145,29 @@ def run_campaign(
     steps: int,
     virtual_hours: float = 24.0,
     sample_points: int = 24,
+    *,
+    telemetry: "TelemetrySession | None" = None,
 ) -> CampaignResult:
-    """Run ``steps`` fuzzing iterations mapped onto a virtual time span."""
+    """Run ``steps`` fuzzing iterations mapped onto a virtual time span.
+
+    ``telemetry`` (or the fuzzer's own session, when it carries a sink)
+    receives campaign lifecycle, crash-discovery, coverage-sample, and
+    kept-step events.  Event emission consumes no randomness and never
+    touches compared state, so a telemetry-enabled run produces a
+    bit-identical :class:`CampaignResult`.
+    """
+    telem = telemetry if telemetry is not None else fuzzer.telemetry
+    if telemetry is not None and fuzzer.telemetry is not telemetry:
+        fuzzer.adopt_telemetry(telemetry)
     result = CampaignResult(
         fuzzer=getattr(fuzzer, "name", type(fuzzer).__name__),
         compiler=fuzzer.compiler.name,
         steps=steps,
+        virtual_hours=virtual_hours,
+    )
+    telem.emit(
+        "campaign", "start",
+        fuzzer=result.fuzzer, compiler=result.compiler, steps=steps,
         virtual_hours=virtual_hours,
     )
     sample_every = max(steps // max(sample_points, 1), 1)
@@ -155,15 +178,39 @@ def run_campaign(
         if step.result.ok or (step.result.crashed and not step.result.diagnostics):
             result.compiled += 1
         if step.result.crashed:
-            result.crashes.add(step.result, vhour, step.program)
+            rec = result.crashes.add(step.result, vhour, step.program)
+            if rec is not None:
+                telem.emit(
+                    "crash", rec.bug_id,
+                    module=rec.module, kind=rec.kind,
+                    vhour=round(vhour, 4), step=i + 1,
+                    mutator=step.mutator,
+                    frames=[[f.function, f.pc] for f in rec.signature.frames],
+                )
+        if step.kept:
+            telem.emit(
+                "step", "kept", step=i + 1, mutator=step.mutator,
+                pool_size=len(getattr(fuzzer, "pool", ())),
+            )
+        for name in (step.stats or {}).get("quarantined", ()):
+            telem.emit("quarantine", name, step=i + 1)
         if (i + 1) % sample_every == 0 or i + 1 == steps:
             result.coverage_trend.append((vhour, len(fuzzer.coverage)))
+            telem.emit(
+                "coverage", "sample",
+                vhour=round(vhour, 4), edges=len(fuzzer.coverage),
+            )
     result.throughput_total = int(virtual_hours * 3600 / fuzzer.step_cost)
+    # Deterministic by construction: stats_snapshot() excludes the
+    # wall-clock profile (profile_snapshot() carries it), so no caller has
+    # to strip timing keys to keep serial==parallel comparisons honest.
     result.stats = fuzzer.stats_snapshot()
-    # Wall-clock profile: real and machine-dependent, so it would break the
-    # serial==parallel determinism contract on campaign results.  The bench
-    # reports it instead.
-    result.stats.pop("stage_timings", None)
+    telem.emit(
+        "campaign", "end",
+        compiled=result.compiled, total=result.total,
+        crashes=len(result.crashes), final_coverage=result.final_coverage,
+    )
+    telem.flush()
     return result
 
 
@@ -183,6 +230,11 @@ class Campaign:
     incremental: bool = True
     #: Differentially check every incremental compile (slow; CI/tests only).
     paranoid: bool = False
+    #: Stream per-cell telemetry (JSONL events) into this directory; the
+    #: resilient runner additionally writes a ``grid.jsonl`` of cell
+    #: lifecycle events.  None (the default) disables the sinks.  Telemetry
+    #: never changes campaign results.
+    telemetry_dir: str | None = None
 
     def cell_specs(
         self,
@@ -210,6 +262,7 @@ class Campaign:
                 cache_maxsize=self.cache_maxsize,
                 incremental=self.incremental,
                 paranoid=self.paranoid,
+                telemetry_dir=self.telemetry_dir,
             )
             for compiler in self.compilers
             for name in fuzzer_names
@@ -266,4 +319,5 @@ class Campaign:
             cell_timeout=cell_timeout,
             cell_retries=cell_retries,
             checkpoint_dir=checkpoint_dir,
+            telemetry_dir=self.telemetry_dir,
         )

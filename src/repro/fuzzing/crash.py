@@ -6,10 +6,16 @@ bucketed by the responsible bug since they produce no backtrace.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.compiler.crash import CompilerCrash, CompilerHang, CrashSignature, StackFrame
 from repro.compiler.driver import CompileResult
+
+#: The four pipeline modules of the paper's Table 6 census.  Crash records
+#: can carry any module string (``CompilerCrash.module`` is arbitrary), so
+#: the census seeds these and counts everything else alongside them.
+CANONICAL_MODULES = ("front-end", "ir-gen", "optimization", "back-end")
 
 
 @dataclass(frozen=True)
@@ -63,15 +69,31 @@ class CrashLog:
         return set(self.records)
 
     def by_module(self) -> dict[str, int]:
-        out = {"front-end": 0, "ir-gen": 0, "optimization": 0, "back-end": 0}
+        """Unique crashes per pipeline module (the Table 6 census).
+
+        A ``Counter`` seeded with the canonical four modules: records whose
+        module is outside that set (the field is an arbitrary string) count
+        under their own key instead of raising.
+        """
+        out = Counter({module: 0 for module in CANONICAL_MODULES})
         for rec in self.records.values():
             out[rec.module] += 1
-        return out
+        return dict(out)
 
     def timeline(self) -> list[tuple[float, int]]:
-        """(time, cumulative unique crashes) discovery curve."""
-        times = sorted(self.first_seen.values())
-        return [(t, i + 1) for i, t in enumerate(times)]
+        """(time, cumulative unique crashes) discovery curve.
+
+        Ties on ``first_seen`` collapse into a single point carrying the
+        final cumulative count for that time, so the curve is a function of
+        time (one y per x) rather than a vertical run of duplicates.
+        """
+        curve: list[tuple[float, int]] = []
+        for i, t in enumerate(sorted(self.first_seen.values())):
+            if curve and curve[-1][0] == t:
+                curve[-1] = (t, i + 1)
+            else:
+                curve.append((t, i + 1))
+        return curve
 
     # -- checkpoint serialization (campaign resume) -----------------------
 

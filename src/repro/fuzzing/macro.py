@@ -135,10 +135,15 @@ class MacroFuzzer(CoverageGuidedFuzzer):
         """The mutated text plus its edit script, or None on failure/no-op."""
         mutator = info.create(random.Random(self.rng.randrange(1 << 62)))
         try:
-            outcome = apply_mutator(mutator, text, cache=self.cache)
+            with self.telemetry.span("mutate", mutator=info.name):
+                outcome = apply_mutator(mutator, text, cache=self.cache)
         except (MutatorCrash, MutatorHang, RecursionError) as exc:
-            if self.quarantine is not None:
-                self.quarantine.record_failure(info.name, type(exc).__name__)
+            if self.quarantine is not None and self.quarantine.record_failure(
+                info.name, type(exc).__name__
+            ):
+                self.telemetry.emit(
+                    "quarantine", info.name, reason=type(exc).__name__
+                )
             return None
         if self.quarantine is not None:
             self.quarantine.record_success(info.name)

@@ -66,12 +66,14 @@ class MuCFuzz(CoverageGuidedFuzzer):
         #: Cross-check every cached/incremental compile against a full one.
         self.paranoid = paranoid
         self.quarantine = quarantine
-        self.stats = {
-            "steps": 0,
-            "attempts": 0,
-            "mutator_failures": 0,
-            "unchanged": 0,
-        }
+        self.stats.update(
+            {
+                "steps": 0,
+                "attempts": 0,
+                "mutator_failures": 0,
+                "unchanged": 0,
+            }
+        )
 
     def stats_snapshot(self) -> dict:
         snap = super().stats_snapshot()
@@ -81,10 +83,6 @@ class MuCFuzz(CoverageGuidedFuzzer):
         snap["middle_incremental_fallbacks"] = (
             self.compiler.middle_incremental_fallbacks
         )
-        snap["stage_timings"] = {
-            stage: round(seconds, 4)
-            for stage, seconds in sorted(self.compiler.stage_timings.items())
-        }
         steps = snap.get("steps", 0)
         snap["attempts_per_step"] = snap["attempts"] / steps if steps else 0.0
         return snap
@@ -162,11 +160,16 @@ class MuCFuzz(CoverageGuidedFuzzer):
         """The mutated text plus its edit script, or None on failure/no-op."""
         mutator = info.create(random.Random(self.rng.randrange(1 << 62)))
         try:
-            outcome = apply_mutator(mutator, text, cache=self.cache)
+            with self.telemetry.span("mutate", mutator=info.name):
+                outcome = apply_mutator(mutator, text, cache=self.cache)
         except (MutatorCrash, MutatorHang, RecursionError) as exc:
             self.stats["mutator_failures"] += 1
-            if self.quarantine is not None:
-                self.quarantine.record_failure(info.name, type(exc).__name__)
+            if self.quarantine is not None and self.quarantine.record_failure(
+                info.name, type(exc).__name__
+            ):
+                self.telemetry.emit(
+                    "quarantine", info.name, reason=type(exc).__name__
+                )
             return None
         if self.quarantine is not None:
             self.quarantine.record_success(info.name)

@@ -84,6 +84,11 @@ class CellSpec:
     incremental: bool = True
     #: Cross-check every incremental compile against a full one (CI/tests).
     paranoid: bool = False
+    #: Stream this cell's telemetry events to a JSONL file in this
+    #: directory (``<fuzzer>-<personality>-<version>.jsonl``).  Execution
+    #: circumstance, not identity: excluded from :func:`cell_key` and from
+    #: the determinism contract (events never alter results).
+    telemetry_dir: str | None = None
     #: Test/CI-only injected fault (fired by :func:`run_cell`).
     fault: CellFault | None = None
     #: Which execution attempt this is (set by the resilient runner on
@@ -159,6 +164,19 @@ def _outcome_from_checkpoint(spec: CellSpec, payload: dict) -> CellOutcome:
     )
 
 
+def cell_telemetry_session(spec: CellSpec):
+    """The cell's JSONL-sinked telemetry session, or None when disabled."""
+    if spec.telemetry_dir is None:
+        return None
+    from pathlib import Path
+
+    from repro.resilience.checkpoint import sanitize_key
+    from repro.telemetry import TelemetrySession
+
+    stem = sanitize_key(f"{spec.fuzzer_name}-{spec.personality}-{spec.version}")
+    return TelemetrySession.to_jsonl(Path(spec.telemetry_dir) / f"{stem}.jsonl")
+
+
 def run_cell(spec: CellSpec) -> "CampaignResult":
     """Run one campaign cell from scratch; the pool worker entry point."""
     import random
@@ -172,6 +190,7 @@ def run_cell(spec: CellSpec) -> "CampaignResult":
         spec.fault.fire(spec.attempt)
     registry = spec.registry if spec.registry is not None else global_registry
     compiler = Compiler(spec.personality, spec.version, bug_seed=spec.bug_seed)
+    session = cell_telemetry_session(spec)
     fuzzer = make_fuzzer(
         spec.fuzzer_name,
         compiler,
@@ -182,10 +201,15 @@ def run_cell(spec: CellSpec) -> "CampaignResult":
         cache_maxsize=spec.cache_maxsize,
         incremental=spec.incremental,
         paranoid=spec.paranoid,
+        telemetry=session,
     )
-    return run_campaign(
-        fuzzer, spec.steps, spec.virtual_hours, spec.sample_points
-    )
+    try:
+        return run_campaign(
+            fuzzer, spec.steps, spec.virtual_hours, spec.sample_points
+        )
+    finally:
+        if session is not None:
+            session.close()
 
 
 # ---------------------------------------------------------------------------
@@ -411,6 +435,7 @@ def run_cells_resilient(
     cell_timeout: float | None = None,
     cell_retries: int = 1,
     checkpoint_dir: str | os.PathLike | None = None,
+    telemetry_dir: str | os.PathLike | None = None,
 ) -> list[CellOutcome]:
     """Run all cells with per-cell fault isolation; never abort the grid.
 
@@ -421,35 +446,66 @@ def run_cells_resilient(
     recorded failure otherwise.  With ``checkpoint_dir``, finished cells are
     persisted as they complete and a rerun skips the cells whose successful
     checkpoints already exist, reproducing the interrupted campaign's
-    remaining cells with identical results.
+    remaining cells with identical results.  With ``telemetry_dir``, cell
+    lifecycle events (checkpoint skips, completions, recorded failures)
+    stream to ``<telemetry_dir>/grid.jsonl``; the event order reflects
+    completion order under parallel scheduling, which is why grid telemetry
+    is an annotation stream, never compared state.
     """
     store = (
         CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
     )
+    gridlog = None
+    if telemetry_dir is not None:
+        from pathlib import Path
+
+        from repro.telemetry import TelemetrySession
+
+        gridlog = TelemetrySession.to_jsonl(Path(telemetry_dir) / "grid.jsonl")
+
+    def emit_cell(spec: CellSpec, status: str, **fields) -> None:
+        if gridlog is not None:
+            gridlog.emit(
+                "cell", cell_key(spec), status=status,
+                fuzzer=spec.fuzzer_name,
+                compiler=f"{spec.personality}-{spec.version}", **fields,
+            )
+
     outcomes: dict[int, CellOutcome] = {}
     todo: list[tuple[int, CellSpec]] = []
-    for index, spec in enumerate(specs):
-        if store is not None:
-            payload = store.load(cell_key(spec))
-            if payload is not None and payload.get("ok") and "result" in payload:
-                outcomes[index] = _outcome_from_checkpoint(spec, payload)
-                continue
-        todo.append((index, spec))
+    try:
+        for index, spec in enumerate(specs):
+            if store is not None:
+                payload = store.load(cell_key(spec))
+                if payload is not None and payload.get("ok") and "result" in payload:
+                    outcomes[index] = _outcome_from_checkpoint(spec, payload)
+                    emit_cell(spec, "checkpoint-skip")
+                    continue
+            todo.append((index, spec))
 
-    def on_done(outcome: CellOutcome) -> None:
-        if store is not None:
-            store.save(cell_key(outcome.spec), outcome.to_json())
-
-    if todo:
-        isolate = parallelism > 1 or cell_timeout is not None
-        if isolate:
-            outcomes.update(
-                _run_cells_isolated(
-                    todo, parallelism, cell_timeout, cell_retries, on_done
-                )
+        def on_done(outcome: CellOutcome) -> None:
+            if store is not None:
+                store.save(cell_key(outcome.spec), outcome.to_json())
+            emit_cell(
+                outcome.spec,
+                "ok" if outcome.ok else "failed",
+                attempts=outcome.attempts,
+                error_type=outcome.error_type,
             )
-        else:
-            for index, spec in todo:
-                outcomes[index] = _run_cell_inprocess(spec, cell_retries)
-                on_done(outcomes[index])
+
+        if todo:
+            isolate = parallelism > 1 or cell_timeout is not None
+            if isolate:
+                outcomes.update(
+                    _run_cells_isolated(
+                        todo, parallelism, cell_timeout, cell_retries, on_done
+                    )
+                )
+            else:
+                for index, spec in todo:
+                    outcomes[index] = _run_cell_inprocess(spec, cell_retries)
+                    on_done(outcomes[index])
+    finally:
+        if gridlog is not None:
+            gridlog.close()
     return [outcomes[index] for index in range(len(specs))]

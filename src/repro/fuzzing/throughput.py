@@ -87,10 +87,13 @@ def _time_run(fuzzer, steps: int) -> dict:
     return {
         "steps": steps,
         "seconds": round(elapsed, 4),
-        "steps_per_sec": round(steps / elapsed, 2) if elapsed > 0 else 0.0,
+        # None (not a fake 0.0) when the clock resolution swallowed the
+        # run — ratio code skips it instead of dividing by a lie.
+        "steps_per_sec": round(steps / elapsed, 2) if elapsed > 0 else None,
         "final_coverage": len(fuzzer.coverage),
         "pool_size": len(fuzzer.pool),
         "stats": stats,
+        "profile": fuzzer.profile_snapshot(),
     }
 
 
@@ -132,8 +135,11 @@ def measure_throughput(
         ), f"{label} run changed the mutant pool"
     uncached_sps = report["uncached"]["steps_per_sec"]
 
-    def _ratio(a: float, b: float) -> float:
-        return round(a / b, 3) if b else 0.0
+    def _ratio(a: "float | None", b: "float | None") -> "float | None":
+        # None propagates: a timing too small to measure produces no ratio.
+        if a is None or not b:
+            return None
+        return round(a / b, 3)
 
     report["speedup"] = _ratio(report["cached"]["steps_per_sec"], uncached_sps)
     report["speedup_incremental"] = _ratio(
@@ -150,7 +156,7 @@ def measure_throughput(
         inc_stats.get("cache_incremental_hits", 0)
         + inc_stats.get("cache_incremental_fallbacks", 0),
     )
-    report["stage_timings"] = inc_stats.get("stage_timings", {})
+    report["stage_timings"] = report["incremental"]["profile"]["stage_timings"]
     return report
 
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.llm import costs
 from repro.llm.model import SimulatedLLM
 from repro.resilience.retry import RetryPolicy, run_with_retry
+from repro.telemetry import TelemetrySession
 
 
 class APIError(Exception):
@@ -56,10 +57,16 @@ class LLMClient:
         model: SimulatedLLM | None = None,
         failure_rate: float = 0.040,
         retry_policy: RetryPolicy | None = None,
+        telemetry: TelemetrySession | None = None,
     ) -> None:
         self.model = model or SimulatedLLM()
         self.failure_rate = failure_rate
         self.retry_policy = retry_policy
+        #: Transport telemetry: ``llm_*`` counters, an ``llm_tokens``
+        #: histogram, and per-request ``llm``/``retry`` events when the
+        #: session carries a sink.  Emission consumes no RNG, so a telemetry
+        #: session never perturbs the simulated request stream.
+        self.telemetry = telemetry if telemetry is not None else TelemetrySession()
         self.requests = 0
         self.failures = 0
         self.retries = 0
@@ -67,14 +74,24 @@ class LLMClient:
 
     def _attempt(self, rng: random.Random, tokens: int) -> ChatUsage:
         self.requests += 1
+        self.telemetry.metrics.inc("llm_requests")
         if rng.random() < self.failure_rate:
             self.failures += 1
+            self.telemetry.metrics.inc("llm_failures")
+            self.telemetry.emit("llm", "throttled", tokens=tokens)
             raise APIError("rate limited (simulated throttle/timeout)")
-        return ChatUsage(tokens, costs.sample_wait_seconds(rng))
+        usage = ChatUsage(tokens, costs.sample_wait_seconds(rng))
+        self.telemetry.metrics.observe("llm_tokens", tokens)
+        self.telemetry.emit(
+            "llm", "ok", tokens=tokens, wait=round(usage.wait_seconds, 3)
+        )
+        return usage
 
-    def _on_backoff(self, _retry: int, pause: float) -> None:
+    def _on_backoff(self, retry: int, pause: float) -> None:
         self.retries += 1
         self.backoff_seconds += pause
+        self.telemetry.metrics.inc("llm_retries")
+        self.telemetry.emit("retry", "llm", retry=retry, pause=round(pause, 3))
 
     def _request(self, rng: random.Random, tokens: int) -> ChatUsage:
         usage, retries, backoff = run_with_retry(

@@ -20,6 +20,7 @@ from repro.metamut.invention import invent_mutator
 from repro.metamut.refinement import RefinementOutcome, refine
 from repro.metamut.synthesis import generate_unit_tests, synthesize_implementation
 from repro.muast.registry import MutatorRegistry, global_registry
+from repro.telemetry import TelemetrySession
 
 # Importing the library populates the global registry with all 118 mutators.
 import repro.mutators  # noqa: F401  (registration side effect)
@@ -107,13 +108,18 @@ class MetaMut:
         client: LLMClient | None = None,
         registry: MutatorRegistry | None = None,
         retry_policy: RetryPolicy | None = None,
+        telemetry: TelemetrySession | None = None,
     ) -> None:
         self.registry = registry or global_registry
         if client is None:
             client = LLMClient(
-                SimulatedLLM(self.registry), retry_policy=retry_policy
+                SimulatedLLM(self.registry), retry_policy=retry_policy,
+                telemetry=telemetry,
             )
         self.client = client
+        self.telemetry = (
+            telemetry if telemetry is not None else self.client.telemetry
+        )
 
     # ------------------------------------------------------------------
 
@@ -125,15 +131,22 @@ class MetaMut:
     ) -> GenerationRecord:
         """One full invocation: invention → synthesis → refinement."""
         cost = MutatorCost(name="<pending>")
+        telem = self.telemetry
         try:
-            invention = invent_mutator(
-                self.client, rng, previously_generated, cost, origin
-            )
+            with telem.span("invention", origin=origin):
+                invention = invent_mutator(
+                    self.client, rng, previously_generated, cost, origin
+                )
             cost.name = invention.name
-            impl = synthesize_implementation(self.client, rng, invention, cost)
-            tests = generate_unit_tests(self.client, rng, invention, cost)
-            outcome = refine(self.client, impl, tests, rng, cost)
+            with telem.span("implementation", mutator=invention.name):
+                impl = synthesize_implementation(
+                    self.client, rng, invention, cost
+                )
+                tests = generate_unit_tests(self.client, rng, invention, cost)
+            with telem.span("refinement", mutator=invention.name):
+                outcome = refine(self.client, impl, tests, rng, cost)
         except APIError:
+            telem.emit("llm", "invocation", status="api_error", origin=origin)
             return GenerationRecord("api_error", cost=cost)
         record = GenerationRecord(
             status="valid",
@@ -146,14 +159,19 @@ class MetaMut:
         if not outcome.passed:
             record.status = "invalid"
             record.reason = "refine-death"
-            return record
-        # Manual review (§4): two authors independently check that the
-        # implementation performs as described on all (including their own,
-        # more complex) test cases, and that it is not a duplicate.
-        verdict = self.manual_review(invention, outcome)
-        if verdict is not None:
-            record.status = "invalid"
-            record.reason = verdict
+        else:
+            # Manual review (§4): two authors independently check that the
+            # implementation performs as described on all (including their
+            # own, more complex) test cases, and that it is not a duplicate.
+            verdict = self.manual_review(invention, outcome)
+            if verdict is not None:
+                record.status = "invalid"
+                record.reason = verdict
+        telem.emit(
+            "llm", "invocation",
+            status=record.status, reason=record.reason or None,
+            mutator=record.name, rounds=record.rounds, origin=origin,
+        )
         return record
 
     def manual_review(
@@ -188,6 +206,7 @@ class MetaMut:
                 generated.add(record.invention.name)
             if record.status == "valid" and record.cost is not None:
                 campaign.ledger.add(record.cost)
+        campaign.ledger.export(self.telemetry.metrics)
         return campaign
 
     def run_supervised(
@@ -224,4 +243,5 @@ class MetaMut:
                 and record.invention.registry_name is not None
             ):
                 produced += 1
+        campaign.ledger.export(self.telemetry.metrics)
         return campaign

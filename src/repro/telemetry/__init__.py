@@ -1,0 +1,124 @@
+"""Unified telemetry: deterministic metrics, span tracing, JSONL events.
+
+The paper's evaluation is observational — coverage curves, unique-crash
+timelines, per-module bug censuses (§5.1, Tables 5-7) — so the reproduction
+carries one telemetry layer through every subsystem:
+
+* :mod:`repro.telemetry.metrics` — counters/gauges/histograms (the fuzzer's
+  ``stats_snapshot()`` is a view over this registry) plus a wall-clock
+  namespace that is kept strictly out of determinism-compared state;
+* :mod:`repro.telemetry.spans` — pipeline-stage tracing
+  (lex/parse/sema/irgen/opt/backend, mutation, LLM stages);
+* :mod:`repro.telemetry.sink` / :mod:`repro.telemetry.events` — a rotated
+  JSONL event stream with a validated schema and deterministic step-clock
+  timestamps;
+* :mod:`repro.telemetry.report` — crash-triage reports (per-module census,
+  discovery timeline, trigger pointers) rendered from campaign results.
+
+Determinism contract: telemetry on vs. off produces bit-identical fuzzing
+results.  Emission consumes no RNG, wall-clock readings live only in event
+annotations and the ``wall`` namespace, and sink bookkeeping stays on the
+sink object.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.telemetry.clock import StepClock
+from repro.telemetry.events import SCHEMA_VERSION, validate_event, validate_jsonl
+from repro.telemetry.metrics import MetricsRegistry, merge_stats
+from repro.telemetry.sink import JSONLSink, NullSink
+from repro.telemetry.spans import Span, Tracer, span
+
+__all__ = [
+    "JSONLSink",
+    "MetricsRegistry",
+    "NullSink",
+    "SCHEMA_VERSION",
+    "Span",
+    "StepClock",
+    "TelemetrySession",
+    "Tracer",
+    "merge_stats",
+    "span",
+    "validate_event",
+    "validate_jsonl",
+]
+
+
+class TelemetrySession:
+    """One run's telemetry: a registry, a step clock, a tracer, and a sink.
+
+    Every fuzzer owns a session; by default it is sink-less, so only the
+    deterministic registry (which backs ``stats_snapshot()``) and the wall
+    profile are live.  Attach a :class:`JSONLSink` (or pass one here) to
+    additionally stream schema-validated events.
+    """
+
+    def __init__(
+        self,
+        sink=None,
+        clock: StepClock | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.clock = clock if clock is not None else StepClock()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.sink = sink
+        self.tracer = Tracer(
+            timings=self.metrics.wall, sink=sink, clock=self.clock
+        )
+
+    @classmethod
+    def to_jsonl(cls, path: str | os.PathLike, **sink_kwargs) -> "TelemetrySession":
+        """A session streaming events to a rotated JSONL file."""
+        return cls(sink=JSONLSink(path, **sink_kwargs))
+
+    @property
+    def enabled(self) -> bool:
+        """Whether an event sink is attached."""
+        return self.sink is not None
+
+    def emit(
+        self, kind: str, name: str, wall: float | None = None, /, **fields
+    ) -> None:
+        """Write one event to the sink (a no-op when none is attached).
+
+        ``kind``/``name``/``wall`` are positional-only so event *fields* may
+        freely use those names (e.g. a crash's ``kind=...`` detail).
+        """
+        if self.sink is None:
+            return
+        event: dict = {
+            "v": SCHEMA_VERSION,
+            "seq": self.clock.tick(),
+            "kind": kind,
+            "name": name,
+        }
+        if fields:
+            event["fields"] = fields
+        if wall is not None:
+            event["wall"] = wall
+        self.sink.write(event)
+
+    def span(self, name: str, **fields) -> Span:
+        """A traced span accumulating into this session's wall profile."""
+        return self.tracer.span(name, **fields)
+
+    def attach_compiler(self, compiler) -> None:
+        """Route the compiler's stage spans into this session's sink/clock.
+
+        The compiler keeps accumulating wall seconds into its own
+        ``stage_timings``; attaching only adds event emission on the shared
+        step clock.
+        """
+        compiler.tracer.sink = self.sink
+        compiler.tracer.clock = self.clock
+
+    def flush(self) -> None:
+        if self.sink is not None:
+            self.sink.flush()
+
+    def close(self) -> None:
+        if self.sink is not None:
+            self.sink.close()

@@ -1,0 +1,87 @@
+"""Span tracing for pipeline stages.
+
+A span measures one named region of work (``lex``, ``parse``, ``sema``,
+``irgen``, ``opt``, ``backend``, ``mutate``, ``invention``, …).  Its
+wall-clock duration accumulates into the tracer's ``timings`` mapping (the
+compiler's ``stage_timings`` Counter, or a registry's ``wall`` namespace)
+and, when a sink is attached, the span also lands in the event stream with
+a deterministic step-clock ``seq`` and the duration as a ``wall``
+*annotation*.  Spans never touch deterministic metrics, so tracing on vs.
+off cannot change compared campaign state.
+
+``span(tracer, name)`` with ``tracer=None`` is a full no-op (not even a
+``perf_counter`` call), which is how the scattered ``t0 = perf_counter()``
+pairs of the cache/middle-end hot paths were replaced without taxing
+uncached runs.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.telemetry.clock import StepClock
+from repro.telemetry.events import SCHEMA_VERSION
+
+
+class Span:
+    """One timed region; a lightweight context manager."""
+
+    __slots__ = ("tracer", "name", "fields", "_t0")
+
+    def __init__(self, tracer: "Tracer | None", name: str, fields: dict | None) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.fields = fields
+
+    def __enter__(self) -> "Span":
+        if self.tracer is not None:
+            self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self.tracer
+        if tracer is None:
+            return False
+        duration = time.perf_counter() - self._t0
+        timings = tracer.timings
+        if timings is not None:
+            timings[self.name] = timings.get(self.name, 0.0) + duration
+        sink = tracer.sink
+        if sink is not None:
+            event: dict = {
+                "v": SCHEMA_VERSION,
+                "seq": tracer.clock.tick(),
+                "kind": "span",
+                "name": self.name,
+                "wall": round(duration, 6),
+            }
+            fields = self.fields
+            if exc_type is not None:
+                fields = dict(fields or ())
+                fields["error"] = exc_type.__name__
+            if fields:
+                event["fields"] = fields
+            sink.write(event)
+        return False
+
+
+class Tracer:
+    """A span factory bound to a timings mapping and an optional sink."""
+
+    def __init__(
+        self,
+        timings: dict | None = None,
+        sink=None,
+        clock: StepClock | None = None,
+    ) -> None:
+        self.timings = timings
+        self.sink = sink
+        self.clock = clock if clock is not None else StepClock()
+
+    def span(self, name: str, **fields) -> Span:
+        return Span(self, name, fields or None)
+
+
+def span(tracer: Tracer | None, name: str, **fields) -> Span:
+    """A span on ``tracer``, or a no-op when no tracer is in play."""
+    return Span(tracer, name, fields or None)
