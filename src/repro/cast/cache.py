@@ -137,6 +137,45 @@ def analyze_front_end(
     )
 
 
+def decl_digests(entry: FrontendEntry, plan: "IncrementalPlan | None" = None) -> tuple:
+    """Per-declaration content digests for cross-compile artifact interning.
+
+    Returns ``(full_digests, header_digests)``, one entry per top-level decl:
+    ``full_digests[i]`` hashes the decl's complete source text;
+    ``header_digests[i]`` hashes only the text *before* the body for function
+    definitions (the part other decls can observe — signature, name, types)
+    and the full text otherwise.  The compile session keys middle-end records
+    on these.  Memoized on ``entry.memo``; with an incremental ``plan``,
+    unchanged decls copy their parent's digests instead of re-hashing
+    (decl text is offset-shift invariant under the dirty-region front end).
+    """
+    cached = entry.memo.get("decl_digests")
+    if cached is not None:
+        return cached
+    parent = (
+        plan.parent.memo.get("decl_digests") if plan is not None else None
+    )
+    text = entry.source.text
+    full: list[str] = []
+    header: list[str] = []
+    for i, decl in enumerate(entry.unit.decls):
+        parent_index = plan.decl_map[i] if parent is not None else None
+        if parent_index is not None:
+            full.append(parent[0][parent_index])
+            header.append(parent[1][parent_index])
+            continue
+        lo, hi = decl.range.begin.offset, decl.range.end.offset
+        digest = source_digest(text[lo:hi])
+        if isinstance(decl, ast.FunctionDecl) and decl.body is not None:
+            header.append(source_digest(text[lo : decl.body.range.begin.offset]))
+        else:
+            header.append(digest)
+        full.append(digest)
+    cached = (tuple(full), tuple(header))
+    entry.memo["decl_digests"] = cached
+    return cached
+
+
 class FrontendCache:
     """A bounded, content-hash-keyed LRU over :class:`FrontendEntry`."""
 

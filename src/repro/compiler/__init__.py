@@ -17,10 +17,12 @@ from repro.compiler.driver import (
 )
 from repro.compiler.coverage import CoverageMap
 from repro.compiler.crash import CompilerCrash, CompilerHang, StackFrame
+from repro.compiler.session import CompileSession
 
 __all__ = [
     "Compiler",
     "CompileResult",
+    "CompileSession",
     "GCC_SIM",
     "CLANG_SIM",
     "default_compilers",

@@ -22,7 +22,15 @@ from repro.compiler.incremental import (
     lower_and_optimize,
 )
 from repro.compiler.ir import IRModule
+from repro.compiler.session import (
+    CompileSession,
+    lower_and_optimize_session,
+    middle_memo_key,
+)
 from repro.telemetry.spans import Tracer
+
+#: Sentinel for "use the compiler's own session" on per-call overrides.
+_SESSION_DEFAULT = object()
 
 
 @dataclass
@@ -68,6 +76,8 @@ class Compiler:
         version: str,
         bug_seed: int = 20240427,
         cache: FrontendCache | None = None,
+        session: CompileSession | None = None,
+        fuse_passes: bool = False,
     ) -> None:
         assert personality in ("gcc-sim", "clang-sim")
         self.personality = personality
@@ -77,6 +87,15 @@ class Compiler:
         self.bugs = BugRegistry.for_compiler(personality, seed=bug_seed)
         #: Optional shared front-end cache; ``compile(cache=...)`` overrides.
         self.cache = cache
+        #: Optional cross-step middle-end session; ``compile(session=...)``
+        #: overrides (``session=None`` there forces a session-less compile).
+        self.session = session
+        #: Run the fused single-walk -O1 round instead of the sequential
+        #: five-pass loop (bit-identical observable behaviour).
+        self.fuse_passes = fuse_passes
+        #: Fused fixpoint loops executed (deliberately outside the compared
+        #: feature/stats space — see ``OptContext.fused_runs``).
+        self.fused_pass_runs = 0
         #: Wall-clock seconds per pipeline stage (lex/parse/sema via the
         #: cache, plus irgen/opt/backend), accumulated across compiles.
         self.stage_timings: Counter = Counter()
@@ -101,15 +120,20 @@ class Compiler:
         cache: FrontendCache | None = None,
         edits_from: tuple[str, tuple] | None = None,
         paranoid: bool = False,
+        session: "CompileSession | None" = _SESSION_DEFAULT,
     ) -> CompileResult:
         """Compile ``source_text``; never raises for input-driven outcomes.
 
         ``edits_from=(parent_text, edit_script)`` names the already-compiled
         program this text was mutated from, enabling dirty-region front-end
-        reuse and function-granular middle-end replay.  ``paranoid=True``
-        cross-checks every cached/incremental compile against a from-scratch
-        one and raises ``IncrementalDivergence`` on any observable mismatch.
+        reuse and function-granular middle-end replay.  ``session`` (default:
+        the compiler's own) interns per-function middle-end artifacts across
+        compiles; pass ``session=None`` explicitly to force a session-less
+        run.  ``paranoid=True`` cross-checks every cached/incremental/
+        session-served compile against a from-scratch one and raises
+        ``IncrementalDivergence`` on any observable mismatch.
         """
+        session = self.session if session is _SESSION_DEFAULT else session
         cov = CoverageMap()
         result = CompileResult(False, self.name, coverage=cov)
         features: dict = {
@@ -119,7 +143,9 @@ class Compiler:
         }
         result.features = features
         cache = cache if cache is not None else self.cache
-        journal: list | None = [] if cache is not None else None
+        journal: list | None = (
+            [] if cache is not None or session is not None else None
+        )
         if journal is not None:
             cov.journal = journal
         stages = ["frontend"]
@@ -127,7 +153,7 @@ class Compiler:
             self._run_pipeline(
                 source_text, opt_level, flags, cov, features, result,
                 cache, edits_from=edits_from, paranoid=paranoid,
-                journal=journal, stages=stages,
+                journal=journal, stages=stages, session=session,
             )
         except CompilerCrash as crash:
             result.ok = False
@@ -147,10 +173,68 @@ class Compiler:
         if "backend" in stages:
             cost += 0.01 + 0.20 * u
         result.cost = cost
-        if paranoid and cache is not None:
-            reference = self.compile(source_text, opt_level, flags, cache=None)
+        if paranoid and (cache is not None or session is not None):
+            reference = self.compile(
+                source_text, opt_level, flags, cache=None, session=None
+            )
+            if session is not None:
+                session.paranoid_checks += 1
             assert_results_equal(result, reference)
         return result
+
+    def compile_batch(
+        self,
+        requests,
+        opt_level: int = 2,
+        flags: tuple[str, ...] = (),
+        cache: FrontendCache | None = None,
+        paranoid: bool = False,
+        session: "CompileSession | None" = _SESSION_DEFAULT,
+        until=None,
+    ) -> list[CompileResult]:
+        """Compile one mutation attempt set against one session.
+
+        ``requests`` is an iterable of ``(text, edits_from)`` pairs — lazily
+        consumed, so a generator that draws fuzzer randomness keeps its exact
+        sequential draw order.  The first request's parent is materialized in
+        the session once per batch (if not already interned), so every
+        attempt's clean functions replay instead of re-lowering.  ``until``,
+        when given, is invoked with each result and truthy return stops the
+        batch early (μCFuzz's keep/crash early exit).
+        """
+        session = self.session if session is _SESSION_DEFAULT else session
+        cache = cache if cache is not None else self.cache
+        results: list[CompileResult] = []
+        materialized = False
+        for text, edits_from in requests:
+            if (
+                session is not None
+                and edits_from is not None
+                and not materialized
+            ):
+                parent_text = edits_from[0]
+                options = middle_memo_key(
+                    self.name, self.bug_seed, opt_level, tuple(flags)
+                )
+                if not session.has_result(options, parent_text):
+                    # Observationally pure for the caller: the parent was
+                    # already compiled when it entered the pool, so this
+                    # warm-up adds no coverage/pool state and consumes no
+                    # fuzzer randomness.
+                    self.compile(
+                        parent_text, opt_level, flags,
+                        cache=cache, session=session,
+                    )
+                    session.materializations += 1
+                materialized = True
+            result = self.compile(
+                text, opt_level, flags, cache=cache, edits_from=edits_from,
+                paranoid=paranoid, session=session,
+            )
+            results.append(result)
+            if until is not None and until(result):
+                break
+        return results
 
     # ------------------------------------------------------------------
 
@@ -167,6 +251,7 @@ class Compiler:
         paranoid: bool = False,
         journal: list | None = None,
         stages: list | None = None,
+        session: "CompileSession | None" = None,
     ) -> None:
         # ---- Front end: lex/parse/sema, shared via the content cache. ----
         # The per-text summary (coverage edges, feature vector, diagnostics)
@@ -198,9 +283,17 @@ class Compiler:
         if entry.unit is None or result.diagnostics:
             return
 
-        # ---- Middle + back end (incremental-aware). ----------------------
+        # ---- Middle + back end (session- and incremental-aware). ---------
         if stages is not None:
             stages.append("middle")
+        if session is not None:
+            # The session path supersedes the journal/parent-memo machinery:
+            # reuse is content-keyed, so it fires across steps and lineages.
+            lower_and_optimize_session(
+                self, session, entry, opt_level, flags, cov, features,
+                result, journal=journal, plan=plan, stages=stages,
+            )
+            return
         lower_and_optimize(
             self, entry, opt_level, flags, cov, features, result,
             journal=journal, plan=plan, stages=stages,

@@ -510,12 +510,15 @@ def _run_middle(
             opt_level=opt_level,
             flags=compiler._personality_flags(flags),
             checkpoint=run.checkpoint,
+            fuse=getattr(compiler, "fuse_passes", False),
         )
         if journal is not None:
             ctx.stats.journal = run.journal
         run.optimize(module, ctx)
     features.update(ctx.stats.counters)
     compiler.bugs.check("optimization", features)
+    if ctx.fused_runs:
+        compiler.fused_pass_runs += ctx.fused_runs
 
     with span(compiler.tracer, "backend"):
         be = run.backend(module, ctx)

@@ -20,6 +20,7 @@ from repro.compiler.passes.inline import (
 )
 from repro.compiler.passes.strlen_opt import strlen_opt, strlen_opt_fn
 from repro.compiler.passes.loop_vectorize import loop_vectorize
+from repro.compiler.passes.fused import fused_local_opt
 
 __all__ = [
     "OptContext",
@@ -35,6 +36,7 @@ __all__ = [
     "strlen_opt",
     "strlen_opt_fn",
     "loop_vectorize",
+    "fused_local_opt",
     "local_opt",
     "cleanup_opt",
     "run_pipeline",
@@ -42,7 +44,15 @@ __all__ = [
 
 
 def local_opt(fn, ctx: OptContext) -> None:
-    """The per-function -O1 fixpoint round (first pipeline stage)."""
+    """The per-function -O1 fixpoint round (first pipeline stage).
+
+    With ``ctx.fuse`` set, the round runs as the single-walk fusion of
+    :mod:`repro.compiler.passes.fused` — bit-identical in resulting IR,
+    coverage hits, and stats bumps, but three traversals instead of five.
+    """
+    if ctx.fuse:
+        fused_local_opt(fn, ctx)
+        return
     changed = True
     rounds = 0
     while changed and rounds < 4:

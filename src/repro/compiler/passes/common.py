@@ -36,6 +36,14 @@ class OptContext:
     #: Hook invoked at named points with the evolving feature dict; the bug
     #: registry uses it to fire seeded crashes mid-pass.
     checkpoint: Callable[[str, dict], None] | None = None
+    #: Run :func:`~repro.compiler.passes.fused.fused_local_opt` (the
+    #: single-walk const_fold+forward_store+cse fusion) in place of the
+    #: sequential :func:`~repro.compiler.passes.local_opt` round loop.
+    fuse: bool = False
+    #: How many fused fixpoint loops ran under this context.  Deliberately
+    #: *not* an :class:`OptStats` counter: stats feed the compared feature
+    #: dict, and fused vs. sequential runs must stay bit-identical there.
+    fused_runs: int = 0
 
     def flag(self, name: str) -> bool:
         return name in self.flags

@@ -89,9 +89,22 @@ def _identity_simplify(instr: BinOp):
     return None
 
 
-def const_fold(fn: IRFunction, ctx: OptContext) -> bool:
+def const_fold(
+    fn: IRFunction,
+    ctx: OptContext,
+    mapping: dict | None = None,
+    finalize: bool = True,
+) -> bool:
+    """Fold constants into ``mapping``; rewrite uses unless deferred.
+
+    The fused pipeline (:mod:`repro.compiler.passes.fused`) passes a shared
+    round mapping and ``finalize=False`` so the single combined use-rewrite
+    happens once per round instead of once per pass; standalone callers get
+    the historical fold-then-replace behaviour.
+    """
     changed = False
-    mapping = {}
+    if mapping is None:
+        mapping = {}
     for block in fn.blocks:
         kept = []
         for instr in block.instrs:
@@ -163,5 +176,6 @@ def const_fold(fn: IRFunction, ctx: OptContext) -> bool:
                 continue
             kept.append(instr)
         block.instrs = kept
-    replace_uses(fn, mapping)
+    if finalize:
+        replace_uses(fn, mapping)
     return changed

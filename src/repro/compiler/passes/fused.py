@@ -1,0 +1,197 @@
+"""The fused -O1 fixpoint round: one walk instead of five.
+
+:func:`fused_local_opt` is a drop-in replacement for
+:func:`repro.compiler.passes.local_opt`.  Each round of the sequential loop
+runs const_fold, simplify_cfg, forward_store, cse, and dce as five full
+traversals of the function, four of which end in a whole-function
+``replace_uses`` sweep.  The fused round keeps the *decision sequence* of
+those passes — every coverage hit and every stats bump fires for the same
+instruction in the same order-insensitive totals — while traversing the
+function only three times (fold, forward+cse combined, dce) and rewriting
+uses once.
+
+Why this is exact and not approximate:
+
+* Temps are single-assignment and defs precede uses in block order, so a
+  mapping entry created at walk position *p* can only affect operands whose
+  defining instruction lies at or after *p*.  Applying the combined mapping
+  per-instruction during the walk therefore resolves operands to exactly the
+  state the sequential pass composition (fold ∘ forward ∘ cse) produces.
+* The mappings of the individual passes compose by *chaining*: const_fold
+  may map ``t3 → 7`` while cse later maps ``t9 → t3``.  The sequential
+  pipeline applies these in separate ``replace_uses`` sweeps; the fused walk
+  uses :class:`_ChainMap`, whose lookups chase chains transitively, so one
+  sweep lands on the same operands.
+* ``simplify_cfg`` reads only block labels and terminator targets — never
+  value operands — so deferring const_fold's use-rewrite past it changes
+  nothing it observes.
+* store-to-load forwarding and CSE never interact destructively in one
+  walk: forwarding decisions read slot state (``LocalAddr``/``Store``
+  bookkeeping), CSE decisions read the pure-instruction key, and both see
+  operands identically resolved (previous point).
+
+The equivalence is enforced three ways: the property test in
+``tests/test_session.py`` diffs IR/coverage/stats against the sequential
+pipeline over the mutator corpus, ``paranoid`` mode cross-checks every
+fused compile against a cold sequential one in CI, and the four-arm
+throughput bench asserts identical final coverage and crash pools.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import (
+    Call, Cast, ImmInt, IRFunction, IRType, Load, LocalAddr, Memcpy, Store,
+    Temp,
+)
+from repro.compiler.passes.common import OptContext, replace_uses
+from repro.compiler.passes.const_fold import const_fold
+from repro.compiler.passes.cse import _key
+from repro.compiler.passes.dce import dce
+from repro.compiler.passes.forward_store import _wrap
+from repro.compiler.passes.simplify_cfg import simplify_cfg
+
+_MISSING = object()
+
+
+class _ChainMap(dict):
+    """An operand mapping whose lookups resolve chains transitively.
+
+    ``a → b, b → c`` behaves as ``a → c``, which is what two sequential
+    ``replace_uses`` sweeps over separate per-pass mappings would produce.
+    Chains are finite because every key is the (single-assignment) dest of
+    a removed instruction; the cycle guard is purely defensive.
+    """
+
+    def get(self, key, default=None):
+        value = dict.get(self, key, _MISSING)
+        if value is _MISSING:
+            return default
+        seen = None
+        while True:
+            nxt = dict.get(self, value, _MISSING)
+            if nxt is _MISSING:
+                return value
+            if seen is None:
+                seen = {key}
+            if value in seen:  # pragma: no cover - defensive
+                return value
+            seen.add(value)
+            value = nxt
+
+    def __getitem__(self, key):
+        value = self.get(key, _MISSING)
+        if value is _MISSING:
+            raise KeyError(key)
+        return value
+
+
+def _forward_cse(fn: IRFunction, ctx: OptContext, mapping: _ChainMap) -> bool:
+    """forward_store and cse interleaved into one traversal.
+
+    Decision-for-decision identical to running
+    :func:`~repro.compiler.passes.forward_store.forward_store` followed by
+    :func:`~repro.compiler.passes.cse.cse`: the slot bookkeeping mirrors the
+    former, the available-expression table the latter, and every kept/removed
+    instruction, coverage hit, and stats bump matches the sequential pair.
+    """
+    changed = False
+    for block in fn.blocks:
+        known: dict[str, object] = {}
+        slot_of_temp: dict[int, str] = {}
+        available: dict = {}
+        kept = []
+        for instr in block.instrs:
+            instr.replace_operands(mapping)
+            if isinstance(instr, LocalAddr):
+                slot_of_temp[instr.dst.index] = instr.slot
+                # LocalAddr is also a CSE key: fall through.
+            elif isinstance(instr, Store):
+                slot = (
+                    slot_of_temp.get(instr.ptr.index)
+                    if isinstance(instr.ptr, Temp)
+                    else None
+                )
+                if slot is None or instr.volatile:
+                    known.clear()  # store through an unknown pointer
+                else:
+                    known[slot] = (instr.value, instr.ty)
+                kept.append(instr)
+                continue
+            elif isinstance(instr, Load):
+                forwarded = False
+                if not instr.volatile:
+                    slot = (
+                        slot_of_temp.get(instr.ptr.index)
+                        if isinstance(instr.ptr, Temp)
+                        else None
+                    )
+                    if slot is not None and slot in known:
+                        value, ty = known[slot]
+                        if ty == instr.ty and ty is not IRType.F32:
+                            if ty.is_int and isinstance(value, ImmInt):
+                                mapping[instr.dst] = ImmInt(_wrap(value.value, ty))
+                            elif ty.is_int:
+                                # The narrowing round trip survives as a
+                                # same-type signed cast, which is itself a
+                                # CSE-able pure instruction: swap it in and
+                                # fall through to the CSE half below.
+                                instr = Cast(
+                                    dst=instr.dst,
+                                    src=value,
+                                    from_ty=ty,
+                                    to_ty=ty,
+                                    signed=True,
+                                )
+                            else:  # ptr / f64 round-trip unchanged
+                                mapping[instr.dst] = value
+                            ctx.cov.hit("opt:fwdstore", ty)
+                            ctx.stats.bump("stores_forwarded")
+                            changed = True
+                            forwarded = isinstance(instr, Load)
+                if isinstance(instr, Load):
+                    if not forwarded:
+                        kept.append(instr)
+                    continue
+                # else: the forward became a Cast; CSE it like any pure op.
+            elif isinstance(instr, (Call, Memcpy)):
+                known.clear()
+                kept.append(instr)
+                continue
+            key = _key(instr)
+            if key is None:
+                kept.append(instr)
+                continue
+            existing = available.get(key)
+            if existing is not None:
+                dst = instr.dest()
+                assert dst is not None
+                mapping[dst] = existing
+                ctx.cov.hit("opt:cse", key[0])
+                ctx.stats.bump("cse_removed")
+                changed = True
+                continue
+            dst = instr.dest()
+            if dst is not None:
+                available[key] = dst
+            kept.append(instr)
+        block.instrs = kept
+    return changed
+
+
+def fused_local_opt(fn: IRFunction, ctx: OptContext) -> None:
+    """The per-function -O1 fixpoint round, fused (see module docstring)."""
+    ctx.fused_runs += 1
+    changed = True
+    rounds = 0
+    while changed and rounds < 4:
+        rounds += 1
+        changed = False
+        mapping = _ChainMap()
+        changed |= const_fold(fn, ctx, mapping=mapping, finalize=False)
+        changed |= simplify_cfg(fn, ctx)
+        changed |= _forward_cse(fn, ctx, mapping)
+        # One combined sweep catches the (rare) use-before-def stragglers
+        # the per-instruction rewrites could not see yet.
+        replace_uses(fn, mapping)
+        changed |= dce(fn, ctx)
+    ctx.stats.bump("opt_rounds", rounds)

@@ -105,6 +105,9 @@ def make_fuzzer(
     cache_maxsize: int | None = None,
     incremental: bool = True,
     paranoid: bool = False,
+    session: bool = False,
+    fuse_passes: bool = False,
+    batch_compile: bool = False,
     telemetry: TelemetrySession | None = None,
 ) -> Fuzzer:
     """Instantiate one of the six evaluated fuzzers by its paper name."""
@@ -113,17 +116,25 @@ def make_fuzzer(
         if quarantine_threshold is not None
         else None
     )
+    # ``session=True`` gives the μCFuzz variants a private per-cell
+    # CompileSession (cross-step middle-end memoization); the generator
+    # baselines ignore it.
+    session_arg = True if session else None
     if name == "uCFuzz.s":
         fuzzer: Fuzzer = MuCFuzz(
             compiler, rng, seeds, registry.supervised(), name=name,
             quarantine=quarantine, cache_maxsize=cache_maxsize,
             incremental=incremental, paranoid=paranoid,
+            session=session_arg, fuse_passes=fuse_passes,
+            batch_compile=batch_compile,
         )
     elif name == "uCFuzz.u":
         fuzzer = MuCFuzz(
             compiler, rng, seeds, registry.unsupervised(), name=name,
             quarantine=quarantine, cache_maxsize=cache_maxsize,
             incremental=incremental, paranoid=paranoid,
+            session=session_arg, fuse_passes=fuse_passes,
+            batch_compile=batch_compile,
         )
     elif name == "AFL++":
         fuzzer = AFLPlusPlus(compiler, rng, seeds)
@@ -230,6 +241,12 @@ class Campaign:
     incremental: bool = True
     #: Differentially check every incremental compile (slow; CI/tests only).
     paranoid: bool = False
+    #: Cross-step middle-end memoization: one CompileSession per cell.
+    session: bool = False
+    #: Route local optimization through the fused single-walk pass.
+    fuse_passes: bool = False
+    #: Compile each μCFuzz step's attempt set as one session batch.
+    batch_compile: bool = False
     #: Stream per-cell telemetry (JSONL events) into this directory; the
     #: resilient runner additionally writes a ``grid.jsonl`` of cell
     #: lifecycle events.  None (the default) disables the sinks.  Telemetry
@@ -262,6 +279,9 @@ class Campaign:
                 cache_maxsize=self.cache_maxsize,
                 incremental=self.incremental,
                 paranoid=self.paranoid,
+                session=self.session,
+                fuse_passes=self.fuse_passes,
+                batch_compile=self.batch_compile,
                 telemetry_dir=self.telemetry_dir,
             )
             for compiler in self.compilers

@@ -17,6 +17,7 @@ import random
 
 from repro.cast.cache import FrontendCache
 from repro.compiler.driver import Compiler
+from repro.compiler.session import CompileSession
 from repro.muast.mutator import MutatorCrash, MutatorHang, apply_mutator
 from repro.muast.registry import MutatorInfo
 from repro.resilience.circuit import MutatorQuarantine
@@ -46,10 +47,30 @@ class MuCFuzz(CoverageGuidedFuzzer):
         incremental: bool = True,
         paranoid: bool = False,
         quarantine: MutatorQuarantine | None = None,
+        session: "CompileSession | bool | None" = None,
+        fuse_passes: bool = False,
+        batch_compile: bool = False,
     ) -> None:
         super().__init__(compiler, rng, seeds)
         self.mutators = list(mutators)
         self.name = name
+        # Cross-step middle-end memoization: ``True`` builds a private
+        # per-fuzzer session (one per campaign cell), an explicit
+        # ``CompileSession`` shares one, ``False`` force-disables whatever
+        # the compiler was constructed with, and ``None`` leaves the
+        # compiler's own ``session`` attribute alone.
+        if session is True:
+            compiler.session = CompileSession()
+        elif session is False:
+            compiler.session = None
+        elif session is not None:
+            compiler.session = session
+        self.session = compiler.session
+        if fuse_passes:
+            compiler.fuse_passes = True
+        #: Compile each step's mutation attempts as one batch against the
+        #: session (parent materialized once); requires a session.
+        self.batch_compile = batch_compile and self.session is not None
         if cache is not None:
             self.cache = cache
         elif use_cache:
@@ -76,6 +97,9 @@ class MuCFuzz(CoverageGuidedFuzzer):
         )
 
     def stats_snapshot(self) -> dict:
+        if self.session is not None:
+            self.stats.update(self.session.stats())
+        self.stats["fused_pass_runs"] = self.compiler.fused_pass_runs
         snap = super().stats_snapshot()
         if self.cache is not None:
             snap.update(self.cache.stats())
@@ -99,6 +123,10 @@ class MuCFuzz(CoverageGuidedFuzzer):
         parent = self.pool.random_choice(self.rng)
         order = list(self.mutators)
         self.rng.shuffle(order)
+        if self.batch_compile:
+            return self._step_batched(
+                parent, order, attempts_before, cache_before, events_before
+            )
         last: StepResult | None = None
         for info in order[:MAX_TRIES_PER_ITERATION]:
             if self.quarantine is not None and not self.quarantine.allows(
@@ -127,6 +155,71 @@ class MuCFuzz(CoverageGuidedFuzzer):
         if last is not None:
             return self._finish(last, attempts_before, cache_before, events_before)
         # Nothing mutated this round; recompile the parent (a no-op round).
+        result = self.compiler.compile(
+            parent.text, cache=self.cache, paranoid=self.paranoid
+        )
+        self.coverage.merge(result.coverage)
+        return self._finish(
+            StepResult(parent.text, result, kept=False, mutator=None),
+            attempts_before,
+            cache_before,
+            events_before,
+        )
+
+    def _step_batched(
+        self,
+        parent,
+        order: list[MutatorInfo],
+        attempts_before: int,
+        cache_before: tuple[int, int],
+        events_before: int,
+    ) -> StepResult:
+        """One iteration routed through :meth:`Compiler.compile_batch`.
+
+        Behaviourally identical to the sequential loop in :meth:`step` —
+        same RNG draw order (the request generator is lazy, so a mutator
+        only consumes entropy when the batch actually reaches it), same
+        keep/merge bookkeeping, same early exit on a kept or crashing
+        mutant.  The only addition is that ``compile_batch`` materializes
+        the parent's session record once up front, so every attempt's
+        clean functions replay from the session.
+        """
+        state: dict = {}
+
+        def requests():
+            for info in order[:MAX_TRIES_PER_ITERATION]:
+                if self.quarantine is not None and not self.quarantine.allows(
+                    info.name
+                ):
+                    self.stats.setdefault("quarantine_skips", 0)
+                    self.stats["quarantine_skips"] += 1
+                    continue
+                self.stats["attempts"] += 1
+                mutated = self._mutate(parent.text, info)
+                if mutated is None or mutated[0] == parent.text:
+                    self.stats["unchanged"] += 1
+                    continue
+                mutant, edits = mutated
+                state["pending"] = (mutant, info)
+                yield mutant, (
+                    (parent.text, edits) if self.incremental else None
+                )
+
+        def until(result) -> bool:
+            mutant, info = state.pop("pending")
+            kept = self.keep_if_new_coverage(mutant, result, parent, info.name)
+            self.coverage.merge(result.coverage)
+            state["last"] = StepResult(
+                mutant, result, kept=kept, mutator=info.name
+            )
+            return kept or result.crashed
+
+        self.compiler.compile_batch(
+            requests(), cache=self.cache, paranoid=self.paranoid, until=until
+        )
+        last = state.get("last")
+        if last is not None:
+            return self._finish(last, attempts_before, cache_before, events_before)
         result = self.compiler.compile(
             parent.text, cache=self.cache, paranoid=self.paranoid
         )

@@ -84,6 +84,14 @@ class CellSpec:
     incremental: bool = True
     #: Cross-check every incremental compile against a full one (CI/tests).
     paranoid: bool = False
+    #: Give the cell's fuzzer a private CompileSession (cross-step
+    #: middle-end memoization).  Sessions are per-cell by construction —
+    #: a worker builds its own — so serial==parallel holds.
+    session: bool = False
+    #: Route local optimization through the fused single-walk pass.
+    fuse_passes: bool = False
+    #: Compile each μCFuzz step's attempt set as one session batch.
+    batch_compile: bool = False
     #: Stream this cell's telemetry events to a JSONL file in this
     #: directory (``<fuzzer>-<personality>-<version>.jsonl``).  Execution
     #: circumstance, not identity: excluded from :func:`cell_key` and from
@@ -117,6 +125,9 @@ def cell_key(spec: CellSpec) -> str:
         spec.cache_maxsize,
         spec.incremental,
         spec.paranoid,
+        spec.session,
+        spec.fuse_passes,
+        spec.batch_compile,
     )
     digest = hashlib.sha1(repr(ident).encode("utf-8")).hexdigest()
     return f"{spec.fuzzer_name}-{spec.personality}-{digest[:16]}"
@@ -201,6 +212,9 @@ def run_cell(spec: CellSpec) -> "CampaignResult":
         cache_maxsize=spec.cache_maxsize,
         incremental=spec.incremental,
         paranoid=spec.paranoid,
+        session=spec.session,
+        fuse_passes=spec.fuse_passes,
+        batch_compile=spec.batch_compile,
         telemetry=session,
     )
     try:

@@ -1,14 +1,16 @@
-"""Fuzzing-throughput measurement: uncached vs. cached vs. incremental.
+"""Fuzzing-throughput measurement: uncached vs. cached vs. incremental vs. session.
 
-The perf contract of the incremental pipeline is measured here: the same
-μCFuzz run (same compiler, seeds, RNG seed — hence an identical step
-sequence) is executed three ways in one process — front end uncached,
-front-end cache only, and fully incremental (dirty-region front end plus
-function-granular middle-end replay) — and the steps/sec ratios, cache
-hit-rates, and per-stage timing breakdown are written to
-``BENCH_throughput.json`` so successive PRs accumulate a perf trajectory.
-The three runs must land on identical final coverage and pool sizes: the
-speedup changes no observable result.
+The perf contract of the compile pipeline is measured here: the same μCFuzz
+run (same compiler, seeds, RNG seed — hence an identical step sequence) is
+executed four ways in one process — front end uncached, front-end cache
+only, fully incremental (dirty-region front end plus function-granular
+middle-end replay), and session+fused (cross-step middle-end memoization
+through a persistent :class:`~repro.compiler.session.CompileSession`, the
+fused single-walk local pass, and batched per-step compilation) — and the
+steps/sec ratios, cache hit-rates, and per-stage timing breakdown are
+written to ``BENCH_throughput.json`` so successive PRs accumulate a perf
+trajectory.  All runs must land on identical final coverage and pool sizes:
+the speedup changes no observable result.
 
 Entry points:
 
@@ -34,6 +36,21 @@ DEFAULT_STEPS = 600
 DEFAULT_SEEDS = 40
 DEFAULT_REPORT = "BENCH_throughput.json"
 
+#: Every compile-pipeline stage any arm can hit.  Each arm's reported
+#: ``stage_timings`` is zero-filled over this set so the per-arm schema is
+#: uniform — an arm that never enters a stage reports 0.0 for it instead of
+#: omitting the key (the historical asymmetry made cross-arm diffs fiddly).
+STAGE_KEYS = (
+    "lex",
+    "parse",
+    "sema",
+    "frontend_incremental",
+    "irgen",
+    "opt",
+    "backend",
+    "session",
+)
+
 
 def _build_fuzzer(
     fuzzer_name: str,
@@ -43,6 +60,9 @@ def _build_fuzzer(
     incremental: bool = False,
     paranoid: bool = False,
     cache_maxsize: int | None = None,
+    session: bool = False,
+    fuse_passes: bool = False,
+    batch_compile: bool = False,
 ):
     import repro.mutators  # noqa: F401  (populate the registry)
     from repro.compiler.driver import Compiler, GCC_SIM
@@ -65,6 +85,9 @@ def _build_fuzzer(
         cache_maxsize=cache_maxsize,
         incremental=incremental,
         paranoid=paranoid,
+        session=True if session else None,
+        fuse_passes=fuse_passes,
+        batch_compile=batch_compile,
     )
 
 
@@ -84,6 +107,13 @@ def _time_run(fuzzer, steps: int) -> dict:
         if gc_was_enabled:
             gc.enable()
     stats = fuzzer.stats_snapshot()
+    profile = fuzzer.profile_snapshot()
+    # Uniform per-arm schema: zero-fill the full stage-key set (an arm that
+    # never entered a stage reports 0.0, not a missing key).
+    observed = profile["stage_timings"]
+    profile["stage_timings"] = dict(
+        sorted({**{stage: 0.0 for stage in STAGE_KEYS}, **observed}.items())
+    )
     return {
         "steps": steps,
         "seconds": round(elapsed, 4),
@@ -93,7 +123,7 @@ def _time_run(fuzzer, steps: int) -> dict:
         "final_coverage": len(fuzzer.coverage),
         "pool_size": len(fuzzer.pool),
         "stats": stats,
-        "profile": fuzzer.profile_snapshot(),
+        "profile": profile,
     }
 
 
@@ -103,29 +133,33 @@ def measure_throughput(
     n_seeds: int = DEFAULT_SEEDS,
     seed: int = 2024,
 ) -> dict:
-    """Run the uncached, cached, and incremental variants and compare.
+    """Run the uncached, cached, incremental, and session arms and compare.
 
-    All runs use the same RNG seed; neither caching nor incremental
-    compilation consumes fuzzer randomness, so they execute the identical
-    step sequence and the comparison is apples-to-apples (also
-    sanity-checked via final coverage and pool size, which must match
-    exactly across all three variants).
+    All runs use the same RNG seed; neither caching, incremental
+    compilation, nor the compile session consumes fuzzer randomness (the
+    batched step path draws per attempt lazily, in the sequential order),
+    so they execute the identical step sequence and the comparison is
+    apples-to-apples (also sanity-checked via final coverage and pool size,
+    which must match exactly across all four arms).
     """
     from repro.fuzzing.seedgen import generate_seeds
 
     seeds = generate_seeds(n_seeds)
     report: dict = {"fuzzer": fuzzer_name, "seed": seed, "n_seeds": n_seeds}
     variants = (
-        ("uncached", False, False),
-        ("cached", True, False),
-        ("incremental", True, True),
+        # (label, use_cache, incremental, session)
+        ("uncached", False, False, False),
+        ("cached", True, False, False),
+        ("incremental", True, True, False),
+        ("session", True, True, True),
     )
-    for label, use_cache, incremental in variants:
+    for label, use_cache, incremental, session in variants:
         fuzzer = _build_fuzzer(
-            fuzzer_name, seeds, seed, use_cache, incremental=incremental
+            fuzzer_name, seeds, seed, use_cache, incremental=incremental,
+            session=session, fuse_passes=session, batch_compile=session,
         )
         report[label] = _time_run(fuzzer, steps)
-    for label in ("cached", "incremental"):
+    for label in ("cached", "incremental", "session"):
         assert (
             report[label]["final_coverage"]
             == report["uncached"]["final_coverage"]
@@ -149,12 +183,22 @@ def measure_throughput(
         report["incremental"]["steps_per_sec"],
         report["cached"]["steps_per_sec"],
     )
+    report["speedup_session"] = _ratio(
+        report["session"]["steps_per_sec"], uncached_sps
+    )
+    report["speedup_session_vs_incremental"] = _ratio(
+        report["session"]["steps_per_sec"],
+        report["incremental"]["steps_per_sec"],
+    )
     report["cache_hit_rate"] = report["cached"]["stats"].get("cache_hit_rate", 0.0)
     inc_stats = report["incremental"]["stats"]
     report["incremental_hit_rate"] = _ratio(
         inc_stats.get("cache_incremental_hits", 0),
         inc_stats.get("cache_incremental_hits", 0)
         + inc_stats.get("cache_incremental_fallbacks", 0),
+    )
+    report["session_hit_rate"] = report["session"]["stats"].get(
+        "middle_session_hit_rate", 0.0
     )
     report["stage_timings"] = report["incremental"]["profile"]["stage_timings"]
     return report
@@ -172,10 +216,12 @@ def run(steps: int, output: str | Path, fuzzer_name: str = "uCFuzz.s") -> dict:
     print(
         f"{report['fuzzer']}: {report['uncached']['steps_per_sec']} -> "
         f"{report['cached']['steps_per_sec']} (cached) -> "
-        f"{report['incremental']['steps_per_sec']} (incremental) steps/sec "
-        f"(incremental speedup {report['speedup_incremental']}x over "
-        f"uncached, {report['speedup_incremental_vs_cached']}x over cached, "
-        f"cache hit-rate {report['cache_hit_rate']:.2%}) -> {path}"
+        f"{report['incremental']['steps_per_sec']} (incremental) -> "
+        f"{report['session']['steps_per_sec']} (session+fused) steps/sec "
+        f"(session speedup {report['speedup_session']}x over uncached, "
+        f"{report['speedup_session_vs_incremental']}x over incremental, "
+        f"cache hit-rate {report['cache_hit_rate']:.2%}, "
+        f"session hit-rate {report['session_hit_rate']:.2%}) -> {path}"
     )
     return report
 
@@ -202,6 +248,17 @@ def smoke_main(argv: list[str] | None = None) -> int:
     inc_stats = report["incremental"]["stats"]
     if inc_stats.get("cache_incremental_hits", 0) <= 0:
         raise SystemExit("bench-smoke: incremental front end never hit")
+    sess_stats = report["session"]["stats"]
+    if sess_stats.get("middle_session_hits", 0) <= 0:
+        raise SystemExit("bench-smoke: the compile session never hit")
+    # The session arm must change no observable: same coverage and pool as
+    # the incremental arm (both already == uncached via measure_throughput).
+    if (
+        report["session"]["final_coverage"]
+        != report["incremental"]["final_coverage"]
+        or report["session"]["pool_size"] != report["incremental"]["pool_size"]
+    ):
+        raise SystemExit("bench-smoke: session arm diverged from incremental")
     return 0
 
 
@@ -216,27 +273,49 @@ def paranoid_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description="paranoid-smoke")
     parser.add_argument("--steps", type=int, default=200)
     parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument(
+        "--session", action="store_true",
+        help="run with a CompileSession (cross-step middle-end memoization)",
+    )
+    parser.add_argument(
+        "--fused", action="store_true",
+        help="route local optimization through the fused single-walk pass",
+    )
     args = parser.parse_args(argv)
     from repro.fuzzing.seedgen import generate_seeds
 
     seeds = generate_seeds(DEFAULT_SEEDS)
     fuzzer = _build_fuzzer(
-        "uCFuzz.s", seeds, args.seed, True, incremental=True, paranoid=True
+        "uCFuzz.s", seeds, args.seed, True, incremental=True, paranoid=True,
+        session=args.session, fuse_passes=args.fused,
+        batch_compile=args.session,
     )
     for _ in range(args.steps):
         fuzzer.step()  # IncrementalDivergence propagates and fails the job
     stats = fuzzer.stats_snapshot()
     inc_hits = stats.get("cache_incremental_hits", 0)
     middle_hits = stats.get("middle_incremental_hits", 0)
+    session_hits = stats.get("middle_session_hits", 0)
+    mode = "session+fused" if args.session else "incremental"
     print(
-        f"paranoid-smoke: {args.steps} steps, 0 divergences, "
+        f"paranoid-smoke[{mode}]: {args.steps} steps, 0 divergences, "
         f"{stats.get('cache_paranoid_checks', 0)} front-end checks, "
         f"{inc_hits} incremental front ends, "
-        f"{middle_hits} middle-end replays"
+        f"{middle_hits} middle-end replays, "
+        f"{session_hits} session replays"
     )
-    if inc_hits <= 0 or middle_hits <= 0:
+    if inc_hits <= 0:
         raise SystemExit(
-            "paranoid-smoke: the incremental path was never exercised"
+            "paranoid-smoke: the incremental front end was never exercised"
+        )
+    if args.session:
+        if session_hits <= 0:
+            raise SystemExit(
+                "paranoid-smoke: the compile session was never exercised"
+            )
+    elif middle_hits <= 0:
+        raise SystemExit(
+            "paranoid-smoke: the incremental middle end was never exercised"
         )
     return 0
 

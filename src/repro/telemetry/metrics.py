@@ -28,6 +28,7 @@ DEFAULT_BOUNDS = (1, 5, 10, 50, 100, 500, 1000, 5000, 10000)
 DERIVED_RATES = {
     "cache_hit_rate": ("cache_hits", "cache_misses"),
     "cache_eviction_rate": ("cache_evictions", "cache_misses"),
+    "middle_session_hit_rate": ("middle_session_hits", "middle_session_misses"),
     "attempts_per_step": ("attempts", "steps"),
 }
 
@@ -184,7 +185,9 @@ def merge_stats(snapshots: Iterable[dict]) -> dict:
     for rate, (num, den) in DERIVED_RATES.items():
         if num in merged or den in merged:
             denominator = merged.get(den, 0)
-            if rate == "cache_hit_rate":
+            if rate.endswith("_hit_rate"):
+                # hits/(hits+misses): the "denominator" source key is the
+                # miss counter, not the whole population.
                 denominator = merged.get(num, 0) + merged.get(den, 0)
             merged[rate] = (
                 merged.get(num, 0) / denominator if denominator else 0.0
