@@ -341,3 +341,49 @@ class Campaign:
             checkpoint_dir=checkpoint_dir,
             telemetry_dir=self.telemetry_dir,
         )
+
+    def run_fabric(
+        self,
+        fuzzer_names: tuple[str, ...] = FUZZER_NAMES,
+        fleet_size: int = 4,
+        *,
+        heartbeat_interval: float = 0.25,
+        heartbeat_timeout: float = 2.0,
+        cell_timeout: float | None = None,
+        cell_retries: int = 1,
+        poison_threshold: int = 3,
+        max_respawns: int | None = None,
+        checkpoint_dir: str | None = None,
+        faults: "dict[str | tuple[str, str], CellFault] | None" = None,
+        chaos=None,
+    ) -> list[CellOutcome]:
+        """The supervised grid: a lease-based work queue over a worker fleet.
+
+        Unlike :meth:`run_resilient` (one process per cell, failure noticed
+        only at the cell timeout), ``run_fabric`` runs ``fleet_size``
+        long-lived workers that heartbeat their leases: a dead or stalled
+        worker is detected within ``heartbeat_timeout`` seconds and its
+        cell is re-dispatched to a survivor, a cell that kills
+        ``poison_threshold`` distinct workers is quarantined as a recorded
+        poison failure, and every transition is journalled under
+        ``checkpoint_dir`` so a killed supervisor resumes mid-grid.
+        Completed cells are bit-identical to the serial run regardless of
+        fleet churn (``chaos``, a
+        :class:`~repro.resilience.faultinject.ChaosPlan`, injects that
+        churn deterministically in tests/CI).
+        """
+        from repro.fabric import run_cells_fabric
+
+        return run_cells_fabric(
+            self.cell_specs(fuzzer_names, faults),
+            fleet_size,
+            heartbeat_interval=heartbeat_interval,
+            heartbeat_timeout=heartbeat_timeout,
+            cell_timeout=cell_timeout,
+            cell_retries=cell_retries,
+            poison_threshold=poison_threshold,
+            max_respawns=max_respawns,
+            checkpoint_dir=checkpoint_dir,
+            telemetry_dir=self.telemetry_dir,
+            chaos=chaos,
+        )

@@ -48,6 +48,28 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
 #: Scheduler poll interval (real seconds) for isolated cell processes.
 _POLL_SECONDS = 0.01
 
+#: Grace period (real seconds) given to SIGTERM before escalating.
+_TERM_GRACE = 5.0
+
+
+def ensure_dead(proc, grace: float = _TERM_GRACE) -> None:
+    """Terminate ``proc``, escalating to SIGKILL if SIGTERM is ignored.
+
+    A worker stuck in a non-cooperative state (e.g. a hang inside a C
+    extension, or an injected ``CellFault(kind="hang")`` that shadows the
+    default SIGTERM handling) would survive ``terminate()`` forever;
+    without the ``kill()`` escalation it leaks a live process past the
+    grid.  Used by both the resilient runner and the fabric supervisor.
+    """
+    if not proc.is_alive():
+        proc.join(0)
+        return
+    proc.terminate()
+    proc.join(grace)
+    if proc.is_alive():
+        proc.kill()
+        proc.join(grace)
+
 
 def stable_cell_seed(fuzzer_name: str, compiler_name: str, base_seed: int) -> int:
     """A per-cell RNG seed that is stable across processes and runs.
@@ -322,8 +344,7 @@ def _poll_cell(cell: _RunningCell) -> tuple | None:
     if payload is not None:
         return payload
     if cell.deadline is not None and time.monotonic() > cell.deadline:
-        cell.proc.terminate()
-        cell.proc.join(5)
+        ensure_dead(cell.proc)
         return (
             "timeout",
             f"cell exceeded its {cell.timeout}s wall-clock budget",
@@ -346,6 +367,8 @@ def _poll_cell(cell: _RunningCell) -> tuple | None:
 
 def _reap(cell: _RunningCell) -> None:
     cell.proc.join(5)
+    if cell.proc.is_alive():  # refused to exit after reporting: escalate
+        ensure_dead(cell.proc)
     cell.conn.close()
 
 
@@ -437,8 +460,7 @@ def _run_cells_isolated(
                     on_done(outcomes[index])
     finally:
         for cell in running.values():  # interrupted: don't leak workers
-            cell.proc.terminate()
-            cell.proc.join(5)
+            ensure_dead(cell.proc)
     return outcomes
 
 

@@ -132,7 +132,8 @@ def register_mutator(
             action=action,
             structure=structure,
         )
-        (registry or global_registry).register(info)
+        # `is None`, not `or`: an empty registry is falsy via __len__.
+        (global_registry if registry is None else registry).register(info)
         cls.name = name
         cls.description = description
         return cls

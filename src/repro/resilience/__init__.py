@@ -21,7 +21,12 @@ of them can depend on it without cycles.
 
 from repro.resilience.checkpoint import CheckpointStore
 from repro.resilience.circuit import MutatorQuarantine, QuarantineEvent
-from repro.resilience.faultinject import CellFault, InjectedCellFault
+from repro.resilience.faultinject import (
+    CellFault,
+    ChaosPlan,
+    InjectedCellFault,
+    WorkerFault,
+)
 from repro.resilience.retry import RetryPolicy, run_with_retry
 
 __all__ = [
@@ -29,7 +34,9 @@ __all__ = [
     "MutatorQuarantine",
     "QuarantineEvent",
     "CellFault",
+    "ChaosPlan",
     "InjectedCellFault",
+    "WorkerFault",
     "RetryPolicy",
     "run_with_retry",
 ]

@@ -4,6 +4,14 @@ Campaigns persist each finished cell as one ``<key>.json`` file; a restart
 loads the files that exist and reruns only the missing cells.  Writes go
 through a temp file + ``os.replace`` so a kill mid-write can never leave a
 truncated checkpoint — a corrupt or unreadable file is treated as absent.
+
+Keys are sanitized into filesystem-safe stems, which is lossy: ``a/b`` and
+``a_b`` share the stem ``a_b``.  The original key is therefore embedded in
+the payload (under ``_KEY_FIELD``) on save and checked on load, so a
+collision reads as "absent" for the key that lost the file rather than
+silently serving another key's payload.  Orphaned ``*.json.tmp`` files —
+left by a kill between ``write_text`` and ``os.replace`` — are swept when
+the store is opened.
 """
 
 from __future__ import annotations
@@ -14,6 +22,9 @@ import re
 from pathlib import Path
 
 _SAFE_KEY = re.compile(r"[^A-Za-z0-9._+-]")
+
+#: Reserved payload field carrying the unsanitized key (collision guard).
+_KEY_FIELD = "__key__"
 
 
 def sanitize_key(key: str) -> str:
@@ -27,24 +38,43 @@ class CheckpointStore:
     def __init__(self, directory: str | os.PathLike) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._sweep_orphans()
+
+    def _sweep_orphans(self) -> None:
+        """Remove temp files a killed writer left behind (never valid)."""
+        for tmp in self.directory.glob("*.json.tmp"):
+            try:
+                tmp.unlink()
+            except OSError:
+                pass  # a concurrent writer may have replaced it already
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{sanitize_key(key)}.json"
 
     def load(self, key: str) -> dict | None:
-        """The stored payload, or None if absent/corrupt."""
+        """The stored payload, or None if absent/corrupt/another key's file.
+
+        A payload recorded under a key whose sanitized stem collides with
+        this one is *not* served: the embedded original key must match.
+        (Payloads written before the key field existed carry no embedded
+        key and are accepted as-is.)
+        """
         path = self.path_for(key)
         try:
             payload = json.loads(path.read_text())
         except (OSError, ValueError):
             return None
-        return payload if isinstance(payload, dict) else None
+        if not isinstance(payload, dict):
+            return None
+        stored_key = payload.pop(_KEY_FIELD, key)
+        return payload if stored_key == key else None
 
     def save(self, key: str, payload: dict) -> Path:
         """Atomically persist ``payload`` under ``key``."""
         path = self.path_for(key)
         tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload, sort_keys=True) + "\n")
+        record = {**payload, _KEY_FIELD: key}
+        tmp.write_text(json.dumps(record, sort_keys=True) + "\n")
         os.replace(tmp, path)
         return path
 

@@ -38,6 +38,7 @@ EVENT_KINDS = frozenset(
         "retry",     # retry/backoff events (resilience layer)
         "quarantine",  # mutator circuit-breaker trips
         "cell",      # campaign-grid cell lifecycle (resilient runner)
+        "fabric",    # lease/worker lifecycle (fabric supervisor)
     }
 )
 

@@ -378,6 +378,47 @@ def test_checkpoint_store_roundtrip_and_corruption(tmp_path):
     assert store.load("missing") is None
 
 
+def test_checkpoint_store_sanitization_collision_reads_absent(tmp_path):
+    # "a/b" and "a_b" sanitize to the same stem; the second save wins the
+    # file, but the first key must read as *absent*, never as the other
+    # key's payload.
+    store = CheckpointStore(tmp_path)
+    store.save("a/b", {"who": "slash"})
+    store.save("a_b", {"who": "underscore"})
+    assert store.path_for("a/b") == store.path_for("a_b")
+    assert store.load("a_b") == {"who": "underscore"}
+    assert store.load("a/b") is None  # not {"who": "underscore"}!
+    # Saving again flips the file back; now the other key reads absent.
+    store.save("a/b", {"who": "slash"})
+    assert store.load("a/b") == {"who": "slash"}
+    assert store.load("a_b") is None
+
+
+def test_checkpoint_store_accepts_legacy_payload_without_key(tmp_path):
+    store = CheckpointStore(tmp_path)
+    # A pre-collision-guard checkpoint has no embedded key: still served.
+    store.path_for("old").write_text('{"ok": true}\n')
+    assert store.load("old") == {"ok": True}
+
+
+def test_checkpoint_store_sweeps_orphaned_tmp_files(tmp_path):
+    store = CheckpointStore(tmp_path)
+    store.save("kept", {"ok": True})
+    # A kill between write_text and os.replace leaves a .json.tmp orphan.
+    orphan = tmp_path / "dead.json.tmp"
+    orphan.write_text('{"ok": tru')
+    reopened = CheckpointStore(tmp_path)
+    assert not orphan.exists()
+    assert reopened.load("kept") == {"ok": True}
+
+
+def test_checkpoint_save_does_not_mutate_caller_payload(tmp_path):
+    store = CheckpointStore(tmp_path)
+    payload = {"ok": True}
+    store.save("k", payload)
+    assert payload == {"ok": True}  # no reserved-field leakage
+
+
 def test_cell_key_ignores_fault_and_attempt(gcc, small_seeds, registry):
     campaign = _campaign(gcc, small_seeds, registry)
     spec = campaign.cell_specs(("uCFuzz.s",))[0]
@@ -389,6 +430,52 @@ def test_cell_key_ignores_fault_and_attempt(gcc, small_seeds, registry):
     assert cell_key(spec) == cell_key(faulted)
     other = campaign.cell_specs(("Csmith",))[0]
     assert cell_key(spec) != cell_key(other)
+
+
+# ---------------------------------------------------------------------------
+# Hung-worker reaping: SIGTERM deserters must not leak past the grid
+
+
+def _ignore_sigterm_and_sleep():  # pragma: no cover - subprocess body
+    import signal
+    import time
+
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    time.sleep(3600)
+
+
+def test_ensure_dead_escalates_to_sigkill():
+    import multiprocessing as mp
+
+    from repro.fuzzing.parallel import ensure_dead
+
+    proc = mp.get_context().Process(
+        target=_ignore_sigterm_and_sleep, daemon=True
+    )
+    proc.start()
+    try:
+        # Give the child a moment to install its SIG_IGN handler.
+        import time
+
+        time.sleep(0.3)
+        ensure_dead(proc, grace=0.5)
+        assert not proc.is_alive()  # terminate() alone would leak it
+    finally:
+        if proc.is_alive():
+            proc.kill()
+            proc.join(5)
+
+
+def test_ensure_dead_on_finished_process_is_noop():
+    import multiprocessing as mp
+
+    from repro.fuzzing.parallel import ensure_dead
+
+    proc = mp.get_context().Process(target=int, daemon=True)
+    proc.start()
+    proc.join(10)
+    ensure_dead(proc)
+    assert not proc.is_alive()
 
 
 # ---------------------------------------------------------------------------

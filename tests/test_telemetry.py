@@ -15,6 +15,7 @@ from repro.compiler.driver import CompileResult, Compiler, GCC_SIM, default_comp
 from repro.fuzzing.campaign import Campaign, make_fuzzer, run_campaign
 from repro.fuzzing.crash import CANONICAL_MODULES, CrashLog
 from repro.fuzzing.mucfuzz import MuCFuzz
+from repro.fuzzing.parallel import cell_key
 from repro.fuzzing.throughput import _time_run
 from repro.llm.client import APIError, LLMClient
 from repro.telemetry import (
@@ -294,6 +295,81 @@ class TestTelemetryParity:
             for l in (tmp_path / "ev" / "grid.jsonl").read_text().splitlines()
         ]
         assert {r["fields"]["status"] for r in rows} == {"checkpoint-skip"}
+
+    def test_grid_jsonl_lifecycle_across_interrupt_and_resume(
+        self, registry, small_seeds, tmp_path
+    ):
+        from repro.resilience import CellFault
+
+        campaign = _campaign(
+            default_compilers(), small_seeds[:8], registry,
+            telemetry_dir=str(tmp_path / "ev"), steps=10,
+        )
+        ckpt = tmp_path / "ckpt"
+
+        def grid_rows():
+            path = tmp_path / "ev" / "grid.jsonl"
+            assert validate_jsonl(path) > 0
+            rows = [json.loads(l) for l in path.read_text().splitlines()]
+            return {
+                r["name"]: r["fields"]["status"]
+                for r in rows
+                if r["kind"] == "cell"
+            }
+
+        # "Interrupted" run: one cell keeps failing, as if the campaign
+        # was killed while it was retrying.
+        first = campaign.run_resilient(
+            self.NAMES, checkpoint_dir=str(ckpt), cell_retries=0,
+            faults={"AFL++": CellFault(kind="raise", attempts=None)},
+        )
+        by_key = grid_rows()
+        failed = [o for o in first if o.failed]
+        assert failed  # the injected fault must have bitten
+        for outcome in first:
+            key = cell_key(outcome.spec)
+            assert by_key[key] == ("ok" if outcome.ok else "failed")
+        # Resume without the fault: finished cells announce the skip, the
+        # previously-failed cells rerun and land as "ok".
+        second = campaign.run_resilient(self.NAMES, checkpoint_dir=str(ckpt))
+        by_key = grid_rows()
+        for outcome in second:
+            key = cell_key(outcome.spec)
+            expected = "checkpoint-skip" if outcome.from_checkpoint else "ok"
+            assert by_key[key] == expected
+        assert sum(s == "ok" for s in by_key.values()) == len(failed)
+        assert sum(s == "checkpoint-skip" for s in by_key.values()) == len(
+            first
+        ) - len(failed)
+        assert all(o.ok for o in second)
+
+    def test_fabric_grid_events_validate_against_schema_v1(
+        self, registry, small_seeds, tmp_path
+    ):
+        from repro.resilience import CellFault
+
+        campaign = _campaign(
+            [Compiler(*GCC_SIM)], small_seeds[:6], registry,
+            telemetry_dir=str(tmp_path / "ev"), steps=5,
+        )
+        outcomes = campaign.run_fabric(
+            ("uCFuzz.s", "Csmith"), fleet_size=2,
+            heartbeat_interval=0.05, heartbeat_timeout=1.5,
+            poison_threshold=2,
+            faults={"uCFuzz.s": CellFault(kind="exit", attempts=None)},
+        )
+        assert [o.ok for o in outcomes] == [False, True]
+        grid = tmp_path / "ev" / "grid.jsonl"
+        assert validate_jsonl(grid) > 0  # every fabric event is schema-v1
+        rows = [json.loads(l) for l in grid.read_text().splitlines()]
+        fabric_names = {r["name"] for r in rows if r["kind"] == "fabric"}
+        assert {"grid", "worker", "lease", "poison"} <= fabric_names
+        lease_statuses = {
+            r["fields"]["status"]
+            for r in rows
+            if r["kind"] == "fabric" and r["name"] == "lease"
+        }
+        assert {"grant", "renew", "reclaim"} <= lease_statuses
 
 
 # ---------------------------------------------------------------------------
