@@ -137,7 +137,11 @@ def analyze_front_end(
     )
 
 
-def decl_digests(entry: FrontendEntry, plan: "IncrementalPlan | None" = None) -> tuple:
+def decl_digests(
+    entry: FrontendEntry,
+    plan: "IncrementalPlan | None" = None,
+    memo_stats: dict | None = None,
+) -> tuple:
     """Per-declaration content digests for cross-compile artifact interning.
 
     Returns ``(full_digests, header_digests)``, one entry per top-level decl:
@@ -148,6 +152,14 @@ def decl_digests(entry: FrontendEntry, plan: "IncrementalPlan | None" = None) ->
     on these.  Memoized on ``entry.memo``; with an incremental ``plan``,
     unchanged decls copy their parent's digests instead of re-hashing
     (decl text is offset-shift invariant under the dirty-region front end).
+
+    Each decl node additionally carries its digest pair as ``_digest_memo``:
+    a node grafted into a child entry keeps the attribute even when the
+    parent's entry-level memo is gone (evicted, or the parent was never
+    digested), so re-hashing is content-keyed at node granularity too.  The
+    attribute is sound because grafting only reuses a node when its source
+    text is unchanged up to an offset shift.  ``memo_stats``, when given,
+    has its ``"decl_digest_memo_hits"`` entry bumped per node-memo hit.
     """
     cached = entry.memo.get("decl_digests")
     if cached is not None:
@@ -163,6 +175,16 @@ def decl_digests(entry: FrontendEntry, plan: "IncrementalPlan | None" = None) ->
         if parent_index is not None:
             full.append(parent[0][parent_index])
             header.append(parent[1][parent_index])
+            decl._digest_memo = (full[-1], header[-1])
+            continue
+        memo = decl.__dict__.get("_digest_memo")
+        if memo is not None:
+            if memo_stats is not None:
+                memo_stats["decl_digest_memo_hits"] = (
+                    memo_stats.get("decl_digest_memo_hits", 0) + 1
+                )
+            full.append(memo[0])
+            header.append(memo[1])
             continue
         lo, hi = decl.range.begin.offset, decl.range.end.offset
         digest = source_digest(text[lo:hi])
@@ -171,6 +193,7 @@ def decl_digests(entry: FrontendEntry, plan: "IncrementalPlan | None" = None) ->
         else:
             header.append(digest)
         full.append(digest)
+        decl._digest_memo = (digest, header[-1])
     cached = (tuple(full), tuple(header))
     entry.memo["decl_digests"] = cached
     return cached

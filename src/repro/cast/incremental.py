@@ -451,12 +451,19 @@ def _diag_key(diags: list[Diagnostic]) -> list[tuple]:
     ]
 
 
+#: Node attributes that cache derived data rather than structure: a node
+#: that carries one is still structurally equal to a node that doesn't.
+_MEMO_ATTRS = frozenset({"_digest_memo"})
+
+
 def ast_equal(a: ast.Node, b: ast.Node) -> bool:
     """Structural AST equality: positions, types, and reference *shape*.
 
     ``DeclRefExpr.decl`` pointers are compared by positional correspondence
     (pre-order registration), so a grafted unit sharing subtrees with its
-    parent compares equal to an independently parsed one.
+    parent compares equal to an independently parsed one.  Memo attributes
+    (:data:`_MEMO_ATTRS`) are ignored: digest caching must not make a
+    grafted unit compare unequal to a fresh parse.
     """
     pairs: dict[int, ast.Node] = {}
 
@@ -466,9 +473,11 @@ def ast_equal(a: ast.Node, b: ast.Node) -> bool:
                 return False
             pairs[id(x)] = y
             da, db = x.__dict__, y.__dict__
-            if da.keys() != db.keys():
+            if da.keys() - _MEMO_ATTRS != db.keys() - _MEMO_ATTRS:
                 return False
             for k in da:
+                if k in _MEMO_ATTRS:
+                    continue
                 va, vb = da[k], db[k]
                 if k == "decl" and isinstance(va, ast.Node):
                     mapped = pairs.get(id(va))

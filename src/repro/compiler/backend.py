@@ -113,6 +113,8 @@ def lower_to_asm(
 
 
 def _lower_function(fn: IRFunction, ctx: OptContext) -> BackendResult:
+    if getattr(ctx, "flat", False):
+        return _lower_function_flat(fn, ctx)
     cov = ctx.cov
     instrs = [i for b in fn.blocks for i in b.instrs]
     intervals = _live_intervals(instrs)
@@ -212,3 +214,177 @@ def _lower_function(fn: IRFunction, ctx: OptContext) -> BackendResult:
                 value = f" {reg(instr.value)}" if instr.value is not None else ""
                 lines.append(f"  ret{value}")
     return BackendResult("\n".join(lines), stats)
+
+
+def _flat_live_intervals(buf) -> dict[int, tuple[int, int]]:
+    from repro.compiler import flatir as F
+
+    intervals: dict[int, tuple[int, int]] = {}
+    opcl, dstl, al, bl, auxl = buf.opc, buf.dst, buf.a, buf.b, buf.aux
+    pos = 0
+    for _label, idxs in buf.blocks:
+        for i in idxs:
+            d = dstl[i]
+            if d is not None:
+                lo, hi = intervals.get(d, (pos, pos))
+                intervals[d] = (min(lo, pos), max(hi, pos))
+            op = opcl[i]
+            if op in _FLAT_AB_OPS:
+                encs = (al[i], bl[i])
+            elif op in _FLAT_A_OPS:
+                encs = (al[i],)
+            elif op == F.OP_CALL:
+                encs = buf.xdata[auxl[i]][1]
+            else:
+                encs = ()
+            for e in encs:
+                if e & 3 == F.TAG_TEMP:
+                    t = e >> 2
+                    lo, hi = intervals.get(t, (pos, pos))
+                    intervals[t] = (min(lo, pos), max(hi, pos))
+            pos += 1
+    return intervals
+
+
+def _lower_function_flat(fn: IRFunction, ctx: OptContext) -> BackendResult:
+    """The buffer-walk twin of :func:`_lower_function`.
+
+    Emits byte-identical assembly and fires the same coverage hits with the
+    same decoded keys; dispatch is over opcode ints instead of isinstance
+    chains and operands never materialize as objects.
+    """
+    from repro.compiler import flatir as F
+
+    cov = ctx.cov
+    buf = F.from_nodes(fn)
+    names = buf.names
+    imms = buf.imms
+    opcl, dstl, al, bl, tyl, auxl = buf.opc, buf.dst, buf.a, buf.b, buf.ty, buf.aux
+    TYPES = F.TYPES
+
+    intervals = _flat_live_intervals(buf)
+    assignment, spills, pressure = _allocate(intervals)
+    cov.hit("backend:regalloc", (spills > 0, pressure))
+
+    n_instrs = sum(len(idxs) for _l, idxs in buf.blocks)
+    stats = {
+        "be_blocks": len(buf.blocks),
+        "be_instrs": n_instrs,
+        "be_spills": spills,
+        "be_pressure": pressure,
+        "be_calls": sum(
+            1 for _l, idxs in buf.blocks for i in idxs if opcl[i] == F.OP_CALL
+        ),
+        "be_label_blocks": sum(
+            1 for l, _idxs in buf.blocks if names[l].startswith("ul_")
+        ),
+        "be_void_trailing_label": 0,
+        "be_empty_label_after_call": 0,
+    }
+
+    # The Clang #63762 shape (see _lower_function).
+    if buf.ret_ty == F.VOID_TAG and stats["be_calls"] >= 1:
+        for l, idxs in buf.blocks:
+            if names[l].startswith("ul_"):
+                if all(opcl[i] in (F.OP_JMP, F.OP_RET) for i in idxs):
+                    stats["be_empty_label_after_call"] += 1
+        if buf.blocks and names[buf.blocks[-1][0]].startswith("ul_"):
+            stats["be_void_trailing_label"] = 1
+
+    def reg(enc: int) -> str:
+        if enc & 3 == F.TAG_IMM:
+            v = imms[enc >> 2]
+            if type(v) is ImmInt:
+                return f"#{v.value}"
+            return f"#{v.value!r}"
+        return assignment.get(enc >> 2, "r?")
+
+    def dreg(d: int) -> str:
+        return assignment.get(d, "r?")
+
+    fname = buf.name
+    lines = [f".text {fname}:"]
+    for label_id, idxs in buf.blocks:
+        lines.append(f"{fname}.{names[label_id]}:")
+        for i in idxs:
+            op = opcl[i]
+            if op == F.OP_BINOP:
+                opn = names[auxl[i]]
+                ty = TYPES[tyl[i]]
+                opc = _OPCODE.get(opn, opn)
+                if ty.is_float:
+                    opc = "f" + opc
+                cov.hit("backend:isel", (opc, ty))
+                cov.hit(
+                    "backend:isel_shape",
+                    (opc, al[i] & 3 == F.TAG_TEMP, bl[i] & 3 == F.TAG_TEMP),
+                )
+                lines.append(
+                    f"  {opc} {dreg(dstl[i])}, {reg(al[i])}, {reg(bl[i])}"
+                )
+            elif op == F.OP_UNOP:
+                opn = names[auxl[i]]
+                cov.hit("backend:isel", (opn, TYPES[tyl[i]]))
+                lines.append(f"  {opn} {dreg(dstl[i])}, {reg(al[i])}")
+            elif op == F.OP_CAST:
+                to_ty = TYPES[tyl[i]]
+                cov.hit("backend:isel", ("cast", TYPES[auxl[i] >> 1], to_ty))
+                lines.append(
+                    f"  mov.{to_ty.value} {dreg(dstl[i])}, {reg(al[i])}"
+                )
+            elif op == F.OP_LOCALADDR:
+                lines.append(f"  lea {dreg(dstl[i])}, {names[auxl[i]]}")
+            elif op == F.OP_GLOBALADDR:
+                lines.append(f"  lea {dreg(dstl[i])}, ={names[auxl[i]]}")
+            elif op == F.OP_LOAD:
+                ty = TYPES[tyl[i]]
+                cov.hit("backend:isel", ("load", ty, bool(auxl[i])))
+                lines.append(
+                    f"  ld.{ty.value} {dreg(dstl[i])}, [{reg(al[i])}]"
+                )
+            elif op == F.OP_STORE:
+                ty = TYPES[tyl[i]]
+                cov.hit("backend:isel", ("store", ty, bool(auxl[i])))
+                lines.append(
+                    f"  st.{ty.value} [{reg(al[i])}], {reg(bl[i])}"
+                )
+            elif op == F.OP_GEP:
+                scale, offset = buf.xdata[auxl[i]]
+                lines.append(
+                    f"  lea {dreg(dstl[i])}, [{reg(al[i])} + "
+                    f"{reg(bl[i])}*{scale} + {offset}]"
+                )
+            elif op == F.OP_CALL:
+                callee, arg_encs, _arg_tys = buf.xdata[auxl[i]]
+                cov.hit("backend:isel", ("call", len(arg_encs)))
+                args = ", ".join(reg(a) for a in arg_encs)
+                d = dstl[i]
+                dst = f"{dreg(d)} = " if d is not None else ""
+                lines.append(f"  {dst}call {names[callee]}({args})")
+            elif op == F.OP_MEMCPY:
+                lines.append(
+                    f"  memcpy [{reg(al[i])}], [{reg(bl[i])}], #{auxl[i]}"
+                )
+            elif op == F.OP_JMP:
+                lines.append(f"  b {fname}.{names[auxl[i]]}")
+            elif op == F.OP_BR:
+                cov.hit("backend:isel", ("br",))
+                lines.append(
+                    f"  cbnz {reg(al[i])}, {fname}.{names[bl[i]]}, "
+                    f"{fname}.{names[auxl[i]]}"
+                )
+            else:  # OP_RET
+                value = f" {reg(al[i])}" if al[i] != F.NONE else ""
+                lines.append(f"  ret{value}")
+    return BackendResult("\n".join(lines), stats)
+
+
+def _flat_op_groups():
+    from repro.compiler import flatir as F
+
+    ab = frozenset((F.OP_BINOP, F.OP_STORE, F.OP_GEP, F.OP_MEMCPY))
+    a = frozenset((F.OP_UNOP, F.OP_CAST, F.OP_LOAD, F.OP_BR, F.OP_RET))
+    return ab, a
+
+
+_FLAT_AB_OPS, _FLAT_A_OPS = _flat_op_groups()

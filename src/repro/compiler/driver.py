@@ -12,7 +12,12 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.cast import ast_nodes as ast
-from repro.cast.cache import FrontendCache, FrontendEntry, analyze_front_end
+from repro.cast.cache import (
+    FrontendCache,
+    FrontendEntry,
+    analyze_front_end,
+    decl_digests,
+)
 from repro.compiler import features as feat
 from repro.compiler.bugs import BugRegistry
 from repro.compiler.coverage import CoverageMap
@@ -78,6 +83,7 @@ class Compiler:
         cache: FrontendCache | None = None,
         session: CompileSession | None = None,
         fuse_passes: bool = False,
+        flat_ir: bool = False,
     ) -> None:
         assert personality in ("gcc-sim", "clang-sim")
         self.personality = personality
@@ -93,6 +99,11 @@ class Compiler:
         #: Run the fused single-walk -O1 round instead of the sequential
         #: five-pass loop (bit-identical observable behaviour).
         self.fuse_passes = fuse_passes
+        #: Run the local optimizer rounds over the flat slotted
+        #: :class:`~repro.compiler.flatir.IRBuffer` instead of the object IR
+        #: (bit-identical observable behaviour; takes precedence over
+        #: ``fuse_passes`` for pass selection).
+        self.flat_ir = flat_ir
         #: Fused fixpoint loops executed (deliberately outside the compared
         #: feature/stats space — see ``OptContext.fused_runs``).
         self.fused_pass_runs = 0
@@ -174,9 +185,17 @@ class Compiler:
             cost += 0.01 + 0.20 * u
         result.cost = cost
         if paranoid and (cache is not None or session is not None):
-            reference = self.compile(
-                source_text, opt_level, flags, cache=None, session=None
-            )
+            # The reference runs on the object IR even when this compiler is
+            # flat, so every paranoid check doubles as a flat-vs-object
+            # differential on top of the cached-vs-fresh one.
+            flat_prev = self.flat_ir
+            self.flat_ir = False
+            try:
+                reference = self.compile(
+                    source_text, opt_level, flags, cache=None, session=None
+                )
+            finally:
+                self.flat_ir = flat_prev
             if session is not None:
                 session.paranoid_checks += 1
             assert_results_equal(result, reference)
@@ -273,7 +292,7 @@ class Compiler:
                 entry = cache.front_end(source_text, tracer=self.tracer)
         else:
             entry = cache.front_end(source_text, tracer=self.tracer)
-        summary = _frontend_summary(entry, plan)
+        summary = _frontend_summary(entry, plan, session)
         cov.merge(summary.edges)
         features.update(summary.features)
         result.diagnostics.extend(summary.diagnostics)
@@ -316,14 +335,19 @@ class _FrontendSummary:
     diagnostics: tuple[str, ...]
 
 
-def _frontend_summary(entry: FrontendEntry, plan=None) -> _FrontendSummary:
+def _frontend_summary(
+    entry: FrontendEntry, plan=None, session=None
+) -> _FrontendSummary:
     """Coverage edges, features, and diagnostics for one front-end result.
 
     Deterministic per source text, so it is memoized on the cache entry; the
     caller merges it into per-call state.  The summary dict/edge set are
     treated as immutable after construction.  With an incremental ``plan``,
     the per-declaration AST work (coverage walk + feature extraction) is
-    grafted from the parent entry for every unchanged declaration.
+    grafted from the parent entry for every unchanged declaration.  With a
+    ``session``, per-decl summaries are additionally interned across entries
+    by content digest, so a decl shared between unrelated lineages is only
+    walked once per session.
     """
     summary = entry.memo.get("driver_summary")
     if summary is not None:
@@ -354,7 +378,7 @@ def _frontend_summary(entry: FrontendEntry, plan=None) -> _FrontendSummary:
                 diagnostics.append(d.message)
         if diagnostics:
             features["sema_failed"] = 1
-        decl_summaries = _decl_summaries(entry, plan)
+        decl_summaries = _decl_summaries(entry, plan, session)
         features.update(
             feat.merge_ast_features(f for _, f in decl_summaries)
         )
@@ -368,12 +392,17 @@ def _frontend_summary(entry: FrontendEntry, plan=None) -> _FrontendSummary:
     return summary
 
 
-def _decl_summaries(entry: FrontendEntry, plan) -> list:
+def _decl_summaries(entry: FrontendEntry, plan, session=None) -> list:
     """Per-decl (coverage edges, feature vector) pairs, grafted when clean.
 
     Both halves are pure over the decl subtree (offset-shift invariant), so
     an unchanged declaration reuses its parent's pair; only the dirty decls
     are walked.  Memoized on the entry for this text's future compiles.
+    With a ``session``, freshly-walked pairs are also interned in the
+    session's summary store keyed by ``(header digests, decl digest)`` — the
+    header tuple pins the declaration environment (typedefs change how a
+    decl's text parses), the decl digest pins its own text — so a decl
+    reappearing in an unrelated lineage replays instead of re-walking.
     """
     cached = entry.memo.get("decl_summaries")
     if cached is not None:
@@ -381,13 +410,31 @@ def _decl_summaries(entry: FrontendEntry, plan) -> list:
     parent_sums = (
         plan.parent.memo.get("decl_summaries") if plan is not None else None
     )
+    intern = session.summary_intern if session is not None else None
+    if intern is not None:
+        full_digests, header_digests = decl_digests(
+            entry, plan, memo_stats=session.digest_stats
+        )
     summaries = []
     for i, decl in enumerate(entry.unit.decls):
         parent_index = plan.decl_map[i] if parent_sums is not None else None
         if parent_index is not None:
             summaries.append(parent_sums[parent_index])
-        else:
+            continue
+        if intern is None:
             summaries.append(_decl_summary(decl, entry.source.text))
+            continue
+        ikey = (header_digests, full_digests[i])
+        pair = intern.get(ikey)
+        if pair is not None:
+            intern.move_to_end(ikey)
+            session.summary_hits += 1
+        else:
+            pair = _decl_summary(decl, entry.source.text)
+            intern[ikey] = pair
+            while len(intern) > session.maxsize:
+                intern.popitem(last=False)
+        summaries.append(pair)
     entry.memo["decl_summaries"] = summaries
     return summaries
 

@@ -1,0 +1,362 @@
+"""A flat, slotted, array-of-struct encoding of the IR.
+
+The object IR (:mod:`repro.compiler.ir`) spends the hot path allocating and
+chasing per-node Python objects: every instruction is a dataclass, every
+operand a frozen ``Temp``/``ImmInt``/``ImmFloat``, and every pass decision an
+``isinstance`` chain.  :class:`IRBuffer` stores one function as parallel
+arrays instead — opcode ints, destination temp indices, encoded operands,
+type tags, and an opcode-specific ``aux`` payload — with blocks as lists of
+instruction indices and all strings (op names, labels, slots, callees)
+interned into one table.
+
+Operand encoding
+----------------
+
+An operand is one int: ``enc = (payload << 2) | tag`` with
+
+* ``tag 0`` — no operand (``enc == 0`` exactly; ``NONE``),
+* ``tag 1`` — a temp; the payload is the (possibly negative) temp index,
+* ``tag 2`` — an immediate; the payload is an index into the per-buffer
+  immediate pool.
+
+Negative temp indices (parameter temps) survive because Python's ``>>``
+is arithmetic: ``(-1 << 2) | 1 == -3`` and ``-3 >> 2 == -1``, ``-3 & 3 == 1``.
+
+The immediate pool deduplicates by *exact* value: ints by value, floats by
+``repr`` so ``-0.0`` and ``0.0`` (equal under ``==``) keep distinct slots and
+decode losslessly.  Pool entries are the frozen ``ImmInt``/``ImmFloat``
+objects themselves, so bridging back to object form allocates nothing new
+for immediates, and flat passes that need object-equality semantics (CSE
+keys) can use the pooled objects directly.
+
+The bridge contract
+-------------------
+
+``to_nodes(from_nodes(fn))`` is dump-identical and structurally equal to
+``fn``; ``from_nodes(to_nodes(buf))`` reproduces ``buf`` bit-identically for
+any freshly-encoded buffer (interning order is instruction order, which the
+decode walk preserves).  Everything not ported to the buffer — inlining,
+strlen/vectorize, crash seeding, coverage features, the paranoid
+differential — keeps operating on the object form via this bridge.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import (
+    BinOp, Block, Br, Call, Cast, Gep, GlobalAddr, ImmFloat, ImmInt,
+    IRFunction, IRType, Jmp, Load, LocalAddr, Memcpy, Ret, Store, Temp, UnOp,
+)
+
+# Opcode ints.  Order is part of the on-buffer format (dispatch tables index
+# by these), so append-only.
+(
+    OP_BINOP, OP_UNOP, OP_CAST, OP_LOCALADDR, OP_GLOBALADDR, OP_LOAD,
+    OP_STORE, OP_GEP, OP_CALL, OP_MEMCPY, OP_JMP, OP_BR, OP_RET,
+) = range(13)
+
+TERMINATOR_OPS = frozenset((OP_JMP, OP_BR, OP_RET))
+
+#: tag -> IRType and back; tags index this tuple.
+TYPES = tuple(IRType)
+TYPE_TAG = {t: i for i, t in enumerate(TYPES)}
+F32_TAG = TYPE_TAG[IRType.F32]
+VOID_TAG = TYPE_TAG[IRType.VOID]
+
+NONE = 0
+TAG_TEMP = 1
+TAG_IMM = 2
+
+
+def temp_enc(index: int) -> int:
+    return (index << 2) | TAG_TEMP
+
+
+class IRBuffer:
+    """One function's instructions as parallel arrays (see module docstring).
+
+    Field usage per opcode (``-`` means unused/zero):
+
+    =============  =====  ========  ========  =========  =======================
+    opcode         dst    a         b         ty         aux
+    =============  =====  ========  ========  =========  =======================
+    OP_BINOP       temp   lhs       rhs       ty         op name id
+    OP_UNOP        temp   src       -         ty         op name id
+    OP_CAST        temp   src       -         to_ty      (from_ty << 1) | signed
+    OP_LOCALADDR   temp   -         -         -          slot name id
+    OP_GLOBALADDR  temp   -         -         -          global name id
+    OP_LOAD        temp   ptr       -         ty         volatile
+    OP_STORE       -      ptr       value     ty         volatile
+    OP_GEP         temp   base      index     -          xdata id -> (scale, offset)
+    OP_CALL        temp?  -         -         ret_ty     xdata id -> (callee id,
+                                                         [arg encs], (arg ty tags))
+    OP_MEMCPY      -      dst_ptr   src_ptr   -          size
+    OP_JMP         -      -         -         -          target label id
+    OP_BR          -      cond      true id   -          false label id
+    OP_RET         -      value?    -         ty         -
+    =============  =====  ========  ========  =========  =======================
+    """
+
+    __slots__ = (
+        "name", "params", "ret_ty", "slots", "attributes",
+        "opc", "dst", "a", "b", "ty", "aux",
+        "imms", "imm_index", "names", "name_index", "xdata", "blocks",
+    )
+
+    def __init__(self, name: str = "", params=(), ret_ty: int = VOID_TAG):
+        self.name = name
+        self.params = list(params)  # [(param name, ty tag)]
+        self.ret_ty = ret_ty
+        self.slots: dict[str, int] = {}
+        self.attributes: list[str] = []
+        self.opc: list[int] = []
+        self.dst: list[int | None] = []
+        self.a: list[int] = []
+        self.b: list[int] = []
+        self.ty: list[int] = []
+        self.aux: list[int] = []
+        self.imms: list = []  # ImmInt | ImmFloat pool entries
+        self.imm_index: dict = {}
+        self.names: list[str] = []
+        self.name_index: dict[str, int] = {}
+        self.xdata: list = []
+        self.blocks: list[list] = []  # [[label id, [instr idx, ...]], ...]
+
+    # -- interning ---------------------------------------------------------
+
+    def name_id(self, s: str) -> int:
+        idx = self.name_index.get(s)
+        if idx is None:
+            idx = len(self.names)
+            self.names.append(s)
+            self.name_index[s] = idx
+        return idx
+
+    def imm_enc(self, op) -> int:
+        """Encode an existing ``ImmInt``/``ImmFloat`` operand."""
+        if type(op) is ImmInt:
+            key = op.value
+        else:
+            key = (True, repr(op.value))
+        idx = self.imm_index.get(key)
+        if idx is None:
+            idx = len(self.imms)
+            self.imms.append(op)
+            self.imm_index[key] = idx
+        return (idx << 2) | TAG_IMM
+
+    def imm_int_enc(self, value: int) -> int:
+        idx = self.imm_index.get(value)
+        if idx is None:
+            idx = len(self.imms)
+            self.imms.append(ImmInt(value))
+            self.imm_index[value] = idx
+        return (idx << 2) | TAG_IMM
+
+    def imm_float_enc(self, value: float) -> int:
+        key = (True, repr(value))
+        idx = self.imm_index.get(key)
+        if idx is None:
+            idx = len(self.imms)
+            self.imms.append(ImmFloat(value))
+            self.imm_index[key] = idx
+        return (idx << 2) | TAG_IMM
+
+    # -- operand bridge ----------------------------------------------------
+
+    def enc(self, op) -> int:
+        if op is None:
+            return NONE
+        if type(op) is Temp:
+            return (op.index << 2) | TAG_TEMP
+        return self.imm_enc(op)
+
+    def dec(self, enc: int):
+        if enc == NONE:
+            return None
+        if enc & 3 == TAG_TEMP:
+            return Temp(enc >> 2)
+        return self.imms[enc >> 2]
+
+    def push(self, opc: int, dst, a: int, b: int, ty: int, aux: int) -> int:
+        idx = len(self.opc)
+        self.opc.append(opc)
+        self.dst.append(dst)
+        self.a.append(a)
+        self.b.append(b)
+        self.ty.append(ty)
+        self.aux.append(aux)
+        return idx
+
+    # -- comparison (tests; not on any hot path) ---------------------------
+
+    def _content(self):
+        return (
+            self.name, self.params, self.ret_ty, self.slots, self.attributes,
+            self.opc, self.dst, self.a, self.b, self.ty, self.aux,
+            [(type(v).__name__, repr(v)) for v in self.imms],
+            self.names, self.xdata, self.blocks,
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, IRBuffer):
+            return NotImplemented
+        return self._content() == other._content()
+
+    __hash__ = None
+
+
+def from_nodes(fn: IRFunction) -> IRBuffer:
+    """Encode an object-form function into a fresh buffer (lossless)."""
+    buf = IRBuffer(
+        fn.name,
+        [(n, TYPE_TAG[t]) for n, t in fn.params],
+        TYPE_TAG[fn.ret_ty],
+    )
+    buf.slots = dict(fn.slots)
+    buf.attributes = list(fn.attributes)
+    enc = buf.enc
+    nid = buf.name_id
+    push = buf.push
+    xdata = buf.xdata
+    for block in fn.blocks:
+        idxs = []
+        for instr in block.instrs:
+            cls = type(instr)
+            if cls is BinOp:
+                i = push(OP_BINOP, instr.dst.index, enc(instr.lhs),
+                         enc(instr.rhs), TYPE_TAG[instr.ty], nid(instr.op))
+            elif cls is Load:
+                i = push(OP_LOAD, instr.dst.index, enc(instr.ptr), NONE,
+                         TYPE_TAG[instr.ty], int(instr.volatile))
+            elif cls is Store:
+                i = push(OP_STORE, None, enc(instr.ptr), enc(instr.value),
+                         TYPE_TAG[instr.ty], int(instr.volatile))
+            elif cls is UnOp:
+                i = push(OP_UNOP, instr.dst.index, enc(instr.src), NONE,
+                         TYPE_TAG[instr.ty], nid(instr.op))
+            elif cls is Cast:
+                i = push(OP_CAST, instr.dst.index, enc(instr.src), NONE,
+                         TYPE_TAG[instr.to_ty],
+                         (TYPE_TAG[instr.from_ty] << 1) | int(instr.signed))
+            elif cls is LocalAddr:
+                i = push(OP_LOCALADDR, instr.dst.index, NONE, NONE, 0,
+                         nid(instr.slot))
+            elif cls is GlobalAddr:
+                i = push(OP_GLOBALADDR, instr.dst.index, NONE, NONE, 0,
+                         nid(instr.name))
+            elif cls is Gep:
+                xdata.append((instr.scale, instr.offset))
+                i = push(OP_GEP, instr.dst.index, enc(instr.base),
+                         enc(instr.index), 0, len(xdata) - 1)
+            elif cls is Call:
+                xdata.append((
+                    nid(instr.callee),
+                    [enc(arg) for arg in instr.args],
+                    tuple(TYPE_TAG[t] for t in instr.arg_tys),
+                ))
+                i = push(OP_CALL,
+                         instr.dst.index if instr.dst is not None else None,
+                         NONE, NONE, TYPE_TAG[instr.ret_ty], len(xdata) - 1)
+            elif cls is Memcpy:
+                i = push(OP_MEMCPY, None, enc(instr.dst_ptr),
+                         enc(instr.src_ptr), 0, instr.size)
+            elif cls is Jmp:
+                i = push(OP_JMP, None, NONE, NONE, 0, nid(instr.target))
+            elif cls is Br:
+                i = push(OP_BR, None, enc(instr.cond), nid(instr.if_true), 0,
+                         nid(instr.if_false))
+            elif cls is Ret:
+                i = push(OP_RET, None, enc(instr.value), NONE,
+                         TYPE_TAG[instr.ty], 0)
+            else:
+                raise TypeError(f"cannot encode {instr!r}")
+            idxs.append(i)
+        buf.blocks.append([nid(block.label), idxs])
+    return buf
+
+
+def to_nodes(buf: IRBuffer) -> IRFunction:
+    """Decode a buffer into a fresh object-form function (lossless)."""
+    names = buf.names
+    xdata = buf.xdata
+    dec = buf.dec
+    opcl, dstl, al, bl, tyl, auxl = buf.opc, buf.dst, buf.a, buf.b, buf.ty, buf.aux
+    blocks = []
+    for label_id, idxs in buf.blocks:
+        instrs = []
+        for i in idxs:
+            op = opcl[i]
+            if op == OP_BINOP:
+                ins = BinOp(Temp(dstl[i]), names[auxl[i]], dec(al[i]),
+                            dec(bl[i]), TYPES[tyl[i]])
+            elif op == OP_LOAD:
+                ins = Load(Temp(dstl[i]), dec(al[i]), TYPES[tyl[i]],
+                           bool(auxl[i]))
+            elif op == OP_STORE:
+                ins = Store(dec(al[i]), dec(bl[i]), TYPES[tyl[i]],
+                            bool(auxl[i]))
+            elif op == OP_UNOP:
+                ins = UnOp(Temp(dstl[i]), names[auxl[i]], dec(al[i]),
+                           TYPES[tyl[i]])
+            elif op == OP_CAST:
+                ins = Cast(Temp(dstl[i]), dec(al[i]), TYPES[auxl[i] >> 1],
+                           TYPES[tyl[i]], bool(auxl[i] & 1))
+            elif op == OP_LOCALADDR:
+                ins = LocalAddr(Temp(dstl[i]), names[auxl[i]])
+            elif op == OP_GLOBALADDR:
+                ins = GlobalAddr(Temp(dstl[i]), names[auxl[i]])
+            elif op == OP_GEP:
+                scale, offset = xdata[auxl[i]]
+                ins = Gep(Temp(dstl[i]), dec(al[i]), dec(bl[i]), scale, offset)
+            elif op == OP_CALL:
+                callee, args, arg_tys = xdata[auxl[i]]
+                d = dstl[i]
+                ins = Call(Temp(d) if d is not None else None, names[callee],
+                           [dec(e) for e in args],
+                           [TYPES[t] for t in arg_tys], TYPES[tyl[i]])
+            elif op == OP_MEMCPY:
+                ins = Memcpy(dec(al[i]), dec(bl[i]), auxl[i])
+            elif op == OP_JMP:
+                ins = Jmp(names[auxl[i]])
+            elif op == OP_BR:
+                ins = Br(dec(al[i]), names[bl[i]], names[auxl[i]])
+            else:  # OP_RET
+                ins = Ret(dec(al[i]), TYPES[tyl[i]])
+            instrs.append(ins)
+        blocks.append(Block(names[label_id], instrs))
+    return IRFunction(
+        name=buf.name,
+        params=[(n, TYPES[t]) for n, t in buf.params],
+        ret_ty=TYPES[buf.ret_ty],
+        blocks=blocks,
+        slots=dict(buf.slots),
+        attributes=list(buf.attributes),
+    )
+
+
+class FunctionSnapshot:
+    """A cheap point-in-time copy of a function, captured as a buffer.
+
+    Replaces the ``copy.deepcopy(fn)`` snapshots the session/incremental
+    middle ends record for inline candidates: :meth:`of` walks the function
+    once into flat arrays (no per-node deepcopy dispatch), and
+    :meth:`materialize` decodes it back on first use and memoizes the
+    result.  Sharing one materialized function across reuses is safe because
+    the inliner deep-copies candidate bodies into callers and never mutates
+    the candidate itself.
+    """
+
+    __slots__ = ("_buf", "_fn")
+
+    def __init__(self, buf: IRBuffer):
+        self._buf = buf
+        self._fn = None
+
+    @classmethod
+    def of(cls, fn: IRFunction) -> "FunctionSnapshot":
+        return cls(from_nodes(fn))
+
+    def materialize(self) -> IRFunction:
+        if self._fn is None:
+            self._fn = to_nodes(self._buf)
+        return self._fn

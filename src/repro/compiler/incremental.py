@@ -35,13 +35,13 @@ bit-identical (:func:`assert_results_equal`).
 
 from __future__ import annotations
 
-import copy
 from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.cast import ast_nodes as ast
 from repro.cast.incremental import IncrementalDivergence
 from repro.compiler.backend import BackendResult, _lower_function, lower_to_asm
+from repro.compiler.flatir import FunctionSnapshot
 from repro.compiler.ir import IRFunction, IRModule
 from repro.compiler.irgen import IRGen, LoweringError
 from repro.compiler.passes import (
@@ -377,7 +377,8 @@ class _MiddleRun:
                 # can reuse them after later phases mutate the live objects.
                 self.memo.candidate_names = frozenset(candidates)
                 self.memo.candidate_snapshots = {
-                    name: copy.deepcopy(fn) for name, fn in candidates.items()
+                    name: FunctionSnapshot.of(fn)
+                    for name, fn in candidates.items()
                 }
             return candidates
         for name in dirty:
@@ -389,7 +390,10 @@ class _MiddleRun:
                 raise _MiddleAbort("dirty function affects inline candidacy")
         self.memo.candidate_names = self.parent_memo.candidate_names
         self.memo.candidate_snapshots = self.parent_memo.candidate_snapshots
-        return dict(self.parent_memo.candidate_snapshots)
+        return {
+            name: snap.materialize()
+            for name, snap in self.parent_memo.candidate_snapshots.items()
+        }
 
 
 class _NoStats:
@@ -511,6 +515,7 @@ def _run_middle(
             flags=compiler._personality_flags(flags),
             checkpoint=run.checkpoint,
             fuse=getattr(compiler, "fuse_passes", False),
+            flat=getattr(compiler, "flat_ir", False),
         )
         if journal is not None:
             ctx.stats.journal = run.journal

@@ -21,6 +21,7 @@ from repro.compiler.passes.inline import (
 from repro.compiler.passes.strlen_opt import strlen_opt, strlen_opt_fn
 from repro.compiler.passes.loop_vectorize import loop_vectorize
 from repro.compiler.passes.fused import fused_local_opt
+from repro.compiler.passes.flat import flat_cleanup_opt, flat_local_opt
 
 __all__ = [
     "OptContext",
@@ -37,6 +38,8 @@ __all__ = [
     "strlen_opt_fn",
     "loop_vectorize",
     "fused_local_opt",
+    "flat_local_opt",
+    "flat_cleanup_opt",
     "local_opt",
     "cleanup_opt",
     "run_pipeline",
@@ -49,7 +52,12 @@ def local_opt(fn, ctx: OptContext) -> None:
     With ``ctx.fuse`` set, the round runs as the single-walk fusion of
     :mod:`repro.compiler.passes.fused` — bit-identical in resulting IR,
     coverage hits, and stats bumps, but three traversals instead of five.
+    With ``ctx.flat`` set, the same fused algorithm runs over the flat
+    :class:`~repro.compiler.flatir.IRBuffer` (no per-node objects at all).
     """
+    if ctx.flat:
+        flat_local_opt(fn, ctx)
+        return
     if ctx.fuse:
         fused_local_opt(fn, ctx)
         return
@@ -68,6 +76,9 @@ def local_opt(fn, ctx: OptContext) -> None:
 
 def cleanup_opt(fn, ctx: OptContext) -> None:
     """The per-function post-inline cleanup round (-O2 stage tail)."""
+    if ctx.flat:
+        flat_cleanup_opt(fn, ctx)
+        return
     const_fold(fn, ctx)
     simplify_cfg(fn, ctx)
     dce(fn, ctx)

@@ -44,6 +44,11 @@ class OptContext:
     #: *not* an :class:`OptStats` counter: stats feed the compared feature
     #: dict, and fused vs. sequential runs must stay bit-identical there.
     fused_runs: int = 0
+    #: Run the local rounds over the flat :class:`~repro.compiler.flatir`
+    #: buffer (:mod:`repro.compiler.passes.flat`) instead of the object IR.
+    #: Takes precedence over :attr:`fuse` for pass selection; results are
+    #: bit-identical either way.
+    flat: bool = False
 
     def flag(self, name: str) -> bool:
         return name in self.flags

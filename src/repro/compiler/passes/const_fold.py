@@ -27,8 +27,13 @@ def _fold_binop(instr: BinOp) -> int | float | None:
         return None
     if not isinstance(instr.rhs, (ImmInt, ImmFloat)):
         return None
-    a, b = instr.lhs.value, instr.rhs.value
-    op, ty = instr.op, instr.ty
+    return fold_binop_values(instr.op, instr.ty, instr.lhs.value, instr.rhs.value)
+
+
+def fold_binop_values(
+    op: str, ty: IRType, a: int | float, b: int | float
+) -> int | float | None:
+    """Value-level constant folding, shared by the object and flat passes."""
     try:
         if op.rstrip("u") in ("lt", "le", "gt", "ge", "eq", "ne"):
             base = op.rstrip("u")

@@ -8,10 +8,14 @@ from repro.compiler.ir import (
 from repro.compiler.passes.common import OptContext, replace_uses
 
 
+#: Operand order does not matter for these; CSE keys sort their operands.
+COMMUTATIVE = ("+", "*", "&", "|", "^", "eq", "ne")
+
+
 def _key(instr):
     if isinstance(instr, BinOp):
         ops = (instr.lhs, instr.rhs)
-        if instr.op in ("+", "*", "&", "|", "^", "eq", "ne"):
+        if instr.op in COMMUTATIVE:
             ops = tuple(sorted(ops, key=repr))
         return ("bin", instr.op, instr.ty, ops)
     if isinstance(instr, UnOp):

@@ -49,12 +49,12 @@ session-served compile against a cold run (no cache, no session) via
 
 from __future__ import annotations
 
-import copy
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 
 from repro.cast.cache import decl_digests, source_digest
 from repro.compiler.backend import BackendResult, _lower_function, lower_to_asm
+from repro.compiler.flatir import FunctionSnapshot
 from repro.compiler.ir import IRFunction, IRModule
 from repro.compiler.irgen import IRGen, LoweringError
 from repro.compiler.incremental import (
@@ -148,9 +148,10 @@ class SessionFnRecord:
     asm: str = ""
     candidate_names: frozenset = frozenset()
     candidates_digest: str = ""
-    #: Post-local-opt deep copy when this function was an inline candidate
-    #: in its recording run (the body callers inline by value).
-    snapshot: IRFunction | None = None
+    #: Post-local-opt flat snapshot when this function was an inline
+    #: candidate in its recording run (the body callers inline by value);
+    #: materialized back to object IR on reuse.
+    snapshot: "FunctionSnapshot | None" = None
 
 
 @dataclass(frozen=True)
@@ -192,6 +193,14 @@ class CompileSession:
         #: the step's shared clean functions.
         self.materializations = 0
         self.paranoid_checks = 0
+        #: Front-end decl summaries interned across cache entries, keyed by
+        #: ``(header digest tuple, decl digest)`` — see
+        #: :func:`repro.compiler.driver._decl_summaries`.
+        self.summary_intern: OrderedDict[tuple, tuple] = OrderedDict()
+        self.summary_hits = 0
+        #: Mutable sink for :func:`repro.cast.cache.decl_digests` node-memo
+        #: hit counting; merged into :meth:`stats`.
+        self.digest_stats: dict = {"decl_digest_memo_hits": 0}
 
     # -- record store ------------------------------------------------------
 
@@ -243,6 +252,10 @@ class CompileSession:
             "middle_session_size": len(self._records),
             "middle_session_materializations": self.materializations,
             "middle_session_paranoid_checks": self.paranoid_checks,
+            "middle_session_summary_hits": self.summary_hits,
+            "decl_digest_memo_hits": self.digest_stats[
+                "decl_digest_memo_hits"
+            ],
         }
 
     def __len__(self) -> int:
@@ -348,7 +361,9 @@ class _SessionRun:
         irgen = IRGen(self.entry.sema, self.cov)
         irgen._collect_enums(self.unit)
         enum_digest = _digest(tuple(irgen._enum_values.items()))
-        full_digests, header_digests = decl_digests(self.entry, self.plan)
+        full_digests, header_digests = decl_digests(
+            self.entry, self.plan, memo_stats=self.session.digest_stats
+        )
         options = middle_memo_key(
             self.compiler.name, self.compiler.bug_seed, self.opt_level,
             tuple(self.flags),
@@ -467,7 +482,9 @@ class _SessionRun:
                 if pend is not None:
                     # Callers inline the body by value: snapshot it at this
                     # (post-local-opt) point, before later phases mutate it.
-                    pend.snapshot = copy.deepcopy(fn)
+                    # Flat snapshots cost a handful of list copies instead of
+                    # a deep object-graph walk.
+                    pend.snapshot = FunctionSnapshot.of(fn)
             return candidates
         names = None
         for rec in self.clean_fns.values():
@@ -489,7 +506,10 @@ class _SessionRun:
                 raise _MiddleAbort("candidate bodies changed")
         self.candidate_names = names
         self.candidates_digest = digest
-        return {name: self.clean_fns[name].snapshot for name in names}
+        return {
+            name: self.clean_fns[name].snapshot.materialize()
+            for name in names
+        }
 
     # -- backend -----------------------------------------------------------
 
@@ -647,6 +667,7 @@ def _run_session(
             flags=compiler._personality_flags(flags),
             checkpoint=run.checkpoint,
             fuse=compiler.fuse_passes,
+            flat=getattr(compiler, "flat_ir", False),
         )
         ctx.stats.journal = journal
         run.optimize(module, ctx)

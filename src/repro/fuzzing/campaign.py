@@ -107,6 +107,7 @@ def make_fuzzer(
     paranoid: bool = False,
     session: bool = False,
     fuse_passes: bool = False,
+    flat_ir: bool = False,
     batch_compile: bool = False,
     telemetry: TelemetrySession | None = None,
 ) -> Fuzzer:
@@ -126,7 +127,7 @@ def make_fuzzer(
             quarantine=quarantine, cache_maxsize=cache_maxsize,
             incremental=incremental, paranoid=paranoid,
             session=session_arg, fuse_passes=fuse_passes,
-            batch_compile=batch_compile,
+            flat_ir=flat_ir, batch_compile=batch_compile,
         )
     elif name == "uCFuzz.u":
         fuzzer = MuCFuzz(
@@ -134,7 +135,7 @@ def make_fuzzer(
             quarantine=quarantine, cache_maxsize=cache_maxsize,
             incremental=incremental, paranoid=paranoid,
             session=session_arg, fuse_passes=fuse_passes,
-            batch_compile=batch_compile,
+            flat_ir=flat_ir, batch_compile=batch_compile,
         )
     elif name == "AFL++":
         fuzzer = AFLPlusPlus(compiler, rng, seeds)
@@ -245,6 +246,8 @@ class Campaign:
     session: bool = False
     #: Route local optimization through the fused single-walk pass.
     fuse_passes: bool = False
+    #: Run the optimizer's local rounds over the flat slotted IR buffer.
+    flat_ir: bool = False
     #: Compile each μCFuzz step's attempt set as one session batch.
     batch_compile: bool = False
     #: Stream per-cell telemetry (JSONL events) into this directory; the
@@ -281,6 +284,7 @@ class Campaign:
                 paranoid=self.paranoid,
                 session=self.session,
                 fuse_passes=self.fuse_passes,
+                flat_ir=self.flat_ir,
                 batch_compile=self.batch_compile,
                 telemetry_dir=self.telemetry_dir,
             )

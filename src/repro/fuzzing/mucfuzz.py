@@ -49,6 +49,7 @@ class MuCFuzz(CoverageGuidedFuzzer):
         quarantine: MutatorQuarantine | None = None,
         session: "CompileSession | bool | None" = None,
         fuse_passes: bool = False,
+        flat_ir: bool = False,
         batch_compile: bool = False,
     ) -> None:
         super().__init__(compiler, rng, seeds)
@@ -68,6 +69,8 @@ class MuCFuzz(CoverageGuidedFuzzer):
         self.session = compiler.session
         if fuse_passes:
             compiler.fuse_passes = True
+        if flat_ir:
+            compiler.flat_ir = True
         #: Compile each step's mutation attempts as one batch against the
         #: session (parent materialized once); requires a session.
         self.batch_compile = batch_compile and self.session is not None

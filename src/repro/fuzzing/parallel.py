@@ -112,6 +112,8 @@ class CellSpec:
     session: bool = False
     #: Route local optimization through the fused single-walk pass.
     fuse_passes: bool = False
+    #: Run the optimizer's local rounds over the flat slotted IR buffer.
+    flat_ir: bool = False
     #: Compile each μCFuzz step's attempt set as one session batch.
     batch_compile: bool = False
     #: Stream this cell's telemetry events to a JSONL file in this
@@ -149,6 +151,7 @@ def cell_key(spec: CellSpec) -> str:
         spec.paranoid,
         spec.session,
         spec.fuse_passes,
+        spec.flat_ir,
         spec.batch_compile,
     )
     digest = hashlib.sha1(repr(ident).encode("utf-8")).hexdigest()
@@ -236,6 +239,7 @@ def run_cell(spec: CellSpec) -> "CampaignResult":
         paranoid=spec.paranoid,
         session=spec.session,
         fuse_passes=spec.fuse_passes,
+        flat_ir=spec.flat_ir,
         batch_compile=spec.batch_compile,
         telemetry=session,
     )

@@ -1,12 +1,15 @@
-"""Fuzzing-throughput measurement: uncached vs. cached vs. incremental vs. session.
+"""Fuzzing-throughput measurement: uncached vs. cached vs. incremental vs. session vs. flat-ir.
 
 The perf contract of the compile pipeline is measured here: the same μCFuzz
 run (same compiler, seeds, RNG seed — hence an identical step sequence) is
-executed four ways in one process — front end uncached, front-end cache
+executed five ways in one process — front end uncached, front-end cache
 only, fully incremental (dirty-region front end plus function-granular
-middle-end replay), and session+fused (cross-step middle-end memoization
+middle-end replay), session+fused (cross-step middle-end memoization
 through a persistent :class:`~repro.compiler.session.CompileSession`, the
-fused single-walk local pass, and batched per-step compilation) — and the
+fused single-walk local pass, and batched per-step compilation), and
+flat-ir (everything the session arm does, with the optimizer's local
+rounds running over the flat slotted
+:class:`~repro.compiler.flatir.IRBuffer`) — and the
 steps/sec ratios, cache hit-rates, and per-stage timing breakdown are
 written to ``BENCH_throughput.json`` so successive PRs accumulate a perf
 trajectory.  All runs must land on identical final coverage and pool sizes:
@@ -62,6 +65,7 @@ def _build_fuzzer(
     cache_maxsize: int | None = None,
     session: bool = False,
     fuse_passes: bool = False,
+    flat_ir: bool = False,
     batch_compile: bool = False,
 ):
     import repro.mutators  # noqa: F401  (populate the registry)
@@ -87,6 +91,7 @@ def _build_fuzzer(
         paranoid=paranoid,
         session=True if session else None,
         fuse_passes=fuse_passes,
+        flat_ir=flat_ir,
         batch_compile=batch_compile,
     )
 
@@ -133,33 +138,35 @@ def measure_throughput(
     n_seeds: int = DEFAULT_SEEDS,
     seed: int = 2024,
 ) -> dict:
-    """Run the uncached, cached, incremental, and session arms and compare.
+    """Run the uncached, cached, incremental, session, and flat-ir arms.
 
     All runs use the same RNG seed; neither caching, incremental
-    compilation, nor the compile session consumes fuzzer randomness (the
-    batched step path draws per attempt lazily, in the sequential order),
-    so they execute the identical step sequence and the comparison is
-    apples-to-apples (also sanity-checked via final coverage and pool size,
-    which must match exactly across all four arms).
+    compilation, the compile session, nor the flat IR consumes fuzzer
+    randomness (the batched step path draws per attempt lazily, in the
+    sequential order), so they execute the identical step sequence and the
+    comparison is apples-to-apples (also sanity-checked via final coverage
+    and pool size, which must match exactly across all five arms).
     """
     from repro.fuzzing.seedgen import generate_seeds
 
     seeds = generate_seeds(n_seeds)
     report: dict = {"fuzzer": fuzzer_name, "seed": seed, "n_seeds": n_seeds}
     variants = (
-        # (label, use_cache, incremental, session)
-        ("uncached", False, False, False),
-        ("cached", True, False, False),
-        ("incremental", True, True, False),
-        ("session", True, True, True),
+        # (label, use_cache, incremental, session, flat_ir)
+        ("uncached", False, False, False, False),
+        ("cached", True, False, False, False),
+        ("incremental", True, True, False, False),
+        ("session", True, True, True, False),
+        ("flat_ir", True, True, True, True),
     )
-    for label, use_cache, incremental, session in variants:
+    for label, use_cache, incremental, session, flat_ir in variants:
         fuzzer = _build_fuzzer(
             fuzzer_name, seeds, seed, use_cache, incremental=incremental,
-            session=session, fuse_passes=session, batch_compile=session,
+            session=session, fuse_passes=session, flat_ir=flat_ir,
+            batch_compile=session,
         )
         report[label] = _time_run(fuzzer, steps)
-    for label in ("cached", "incremental", "session"):
+    for label in ("cached", "incremental", "session", "flat_ir"):
         assert (
             report[label]["final_coverage"]
             == report["uncached"]["final_coverage"]
@@ -190,6 +197,13 @@ def measure_throughput(
         report["session"]["steps_per_sec"],
         report["incremental"]["steps_per_sec"],
     )
+    report["speedup_flat_ir"] = _ratio(
+        report["flat_ir"]["steps_per_sec"], uncached_sps
+    )
+    report["speedup_flat_ir_vs_session"] = _ratio(
+        report["flat_ir"]["steps_per_sec"],
+        report["session"]["steps_per_sec"],
+    )
     report["cache_hit_rate"] = report["cached"]["stats"].get("cache_hit_rate", 0.0)
     inc_stats = report["incremental"]["stats"]
     report["incremental_hit_rate"] = _ratio(
@@ -217,9 +231,10 @@ def run(steps: int, output: str | Path, fuzzer_name: str = "uCFuzz.s") -> dict:
         f"{report['fuzzer']}: {report['uncached']['steps_per_sec']} -> "
         f"{report['cached']['steps_per_sec']} (cached) -> "
         f"{report['incremental']['steps_per_sec']} (incremental) -> "
-        f"{report['session']['steps_per_sec']} (session+fused) steps/sec "
-        f"(session speedup {report['speedup_session']}x over uncached, "
-        f"{report['speedup_session_vs_incremental']}x over incremental, "
+        f"{report['session']['steps_per_sec']} (session+fused) -> "
+        f"{report['flat_ir']['steps_per_sec']} (flat-ir) steps/sec "
+        f"(flat-ir speedup {report['speedup_flat_ir']}x over uncached, "
+        f"{report['speedup_flat_ir_vs_session']}x over session, "
         f"cache hit-rate {report['cache_hit_rate']:.2%}, "
         f"session hit-rate {report['session_hit_rate']:.2%}) -> {path}"
     )
@@ -259,6 +274,24 @@ def smoke_main(argv: list[str] | None = None) -> int:
         or report["session"]["pool_size"] != report["incremental"]["pool_size"]
     ):
         raise SystemExit("bench-smoke: session arm diverged from incremental")
+    if report["flat_ir"]["stats"].get("middle_session_hits", 0) <= 0:
+        raise SystemExit("bench-smoke: the flat-ir arm's session never hit")
+    # Arm ordering: each optimization layer must not make the pipeline
+    # slower.  A tiny step budget is noisy, so the gate is a generous slack
+    # factor, not strict monotonicity — it catches a de-optimized layer
+    # (2x regressions), not jitter — and only applies once the budget is
+    # large enough to amortize session/cache warmup (below ~40 steps the
+    # memoizing arms legitimately trail while their stores are cold).
+    slack = 0.7
+    order = ("uncached", "cached", "incremental", "session", "flat_ir")
+    rates = [report[label]["steps_per_sec"] for label in order]
+    if args.steps >= 40 and all(rate is not None for rate in rates):
+        for i in range(1, len(order)):
+            if rates[i] < rates[i - 1] * slack:
+                raise SystemExit(
+                    f"bench-smoke: {order[i]} arm ({rates[i]}/s) fell below "
+                    f"{slack}x of the {order[i - 1]} arm ({rates[i - 1]}/s)"
+                )
     return 0
 
 
@@ -281,13 +314,19 @@ def paranoid_main(argv: list[str] | None = None) -> int:
         "--fused", action="store_true",
         help="route local optimization through the fused single-walk pass",
     )
+    parser.add_argument(
+        "--flat-ir", action="store_true",
+        help="run the optimizer's local rounds over the flat slotted IR "
+        "(every paranoid check then doubles as a flat-vs-object "
+        "differential)",
+    )
     args = parser.parse_args(argv)
     from repro.fuzzing.seedgen import generate_seeds
 
     seeds = generate_seeds(DEFAULT_SEEDS)
     fuzzer = _build_fuzzer(
         "uCFuzz.s", seeds, args.seed, True, incremental=True, paranoid=True,
-        session=args.session, fuse_passes=args.fused,
+        session=args.session, fuse_passes=args.fused, flat_ir=args.flat_ir,
         batch_compile=args.session,
     )
     for _ in range(args.steps):
@@ -297,6 +336,8 @@ def paranoid_main(argv: list[str] | None = None) -> int:
     middle_hits = stats.get("middle_incremental_hits", 0)
     session_hits = stats.get("middle_session_hits", 0)
     mode = "session+fused" if args.session else "incremental"
+    if args.flat_ir:
+        mode = "flat-ir+" + mode
     print(
         f"paranoid-smoke[{mode}]: {args.steps} steps, 0 divergences, "
         f"{stats.get('cache_paranoid_checks', 0)} front-end checks, "

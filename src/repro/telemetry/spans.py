@@ -9,10 +9,15 @@ a deterministic step-clock ``seq`` and the duration as a ``wall``
 *annotation*.  Spans never touch deterministic metrics, so tracing on vs.
 off cannot change compared campaign state.
 
-``span(tracer, name)`` with ``tracer=None`` is a full no-op (not even a
-``perf_counter`` call), which is how the scattered ``t0 = perf_counter()``
+``span(tracer, name)`` with ``tracer=None`` returns a shared no-op singleton
+(not even an allocation), which is how the scattered ``t0 = perf_counter()``
 pairs of the cache/middle-end hot paths were replaced without taxing
-uncached runs.
+uncached runs.  Field-less spans on a live tracer are pre-bound: each
+``(tracer, name)`` pair reuses one :class:`Span` instance, so the per-stage
+cost with telemetry on is two ``perf_counter`` calls and a dict update, not
+an object allocation per stage per compile.  Entry times are kept as a
+per-instance LIFO stack, so a reused span stays correct even if the same
+stage name ever re-enters recursively.
 """
 
 from __future__ import annotations
@@ -24,25 +29,26 @@ from repro.telemetry.events import SCHEMA_VERSION
 
 
 class Span:
-    """One timed region; a lightweight context manager."""
+    """One timed region; a lightweight, reusable context manager."""
 
-    __slots__ = ("tracer", "name", "fields", "_t0")
+    __slots__ = ("tracer", "name", "fields", "_starts")
 
     def __init__(self, tracer: "Tracer | None", name: str, fields: dict | None) -> None:
         self.tracer = tracer
         self.name = name
         self.fields = fields
+        self._starts: list[float] = []
 
     def __enter__(self) -> "Span":
         if self.tracer is not None:
-            self._t0 = time.perf_counter()
+            self._starts.append(time.perf_counter())
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         tracer = self.tracer
         if tracer is None:
             return False
-        duration = time.perf_counter() - self._t0
+        duration = time.perf_counter() - self._starts.pop()
         timings = tracer.timings
         if timings is not None:
             timings[self.name] = timings.get(self.name, 0.0) + duration
@@ -77,11 +83,38 @@ class Tracer:
         self.timings = timings
         self.sink = sink
         self.clock = clock if clock is not None else StepClock()
+        #: Field-less spans pre-bound by name; one reusable instance each.
+        self._bound: dict[str, Span] = {}
 
     def span(self, name: str, **fields) -> Span:
-        return Span(self, name, fields or None)
+        if fields:
+            return Span(self, name, fields)
+        bound = self._bound.get(name)
+        if bound is None:
+            bound = self._bound[name] = Span(self, name, None)
+        return bound
 
 
-def span(tracer: Tracer | None, name: str, **fields) -> Span:
-    """A span on ``tracer``, or a no-op when no tracer is in play."""
-    return Span(tracer, name, fields or None)
+class _NoopSpan:
+    """The do-nothing span; one shared instance serves every tracerless call."""
+
+    __slots__ = ()
+
+    #: Mirrors :attr:`Span.tracer` for callers that introspect it.
+    tracer = None
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+def span(tracer: Tracer | None, name: str, **fields):
+    """A span on ``tracer``, or the shared no-op when no tracer is in play."""
+    if tracer is None:
+        return _NOOP
+    return tracer.span(name, **fields)

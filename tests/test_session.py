@@ -254,7 +254,7 @@ class TestSessionFuzzing:
             k: v
             for k, v in payload["stats"].items()
             if not k.startswith(("middle_session_", "middle_incremental_", "cache_"))
-            and k != "fused_pass_runs"
+            and k not in ("fused_pass_runs", "decl_digest_memo_hits")
         }
         return payload
 
