@@ -3,6 +3,7 @@ runner used by the evaluation benches."""
 
 from repro.fuzzing.corpus import Corpus, ProgramEntry
 from repro.fuzzing.seedgen import generate_seeds
+from repro.fuzzing.schedule import MutatorScheduler
 from repro.fuzzing.mucfuzz import MuCFuzz
 from repro.fuzzing.macro import MacroFuzzer
 from repro.fuzzing.campaign import Campaign, CampaignResult, run_campaign
@@ -17,6 +18,7 @@ __all__ = [
     "Corpus",
     "ProgramEntry",
     "generate_seeds",
+    "MutatorScheduler",
     "MuCFuzz",
     "MacroFuzzer",
     "Campaign",

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from repro.compiler.driver import Compiler, CompileResult
 from repro.compiler.coverage import CoverageMap
 from repro.fuzzing.corpus import Corpus, ProgramEntry
+from repro.fuzzing.schedule import MUTATOR_STAT_KEYS
 from repro.telemetry import TelemetrySession
 
 
@@ -51,9 +52,45 @@ class Fuzzer:
         #: (:class:`repro.resilience.circuit.MutatorQuarantine`); fuzzers
         #: that apply mutators consult and feed it.
         self.quarantine = None
+        #: Optional evolutionary scheduler
+        #: (:class:`repro.fuzzing.schedule.MutatorScheduler`); mutation
+        #: fuzzers that track per-mutator yield stats feed it.
+        self.scheduler = None
 
     def step(self) -> StepResult:
         raise NotImplementedError
+
+    def record_mutator_yield(
+        self,
+        name: str,
+        *,
+        changed: bool = False,
+        compiled: bool = False,
+        crashed: bool = False,
+        coverage_gain: int = 0,
+    ) -> None:
+        """Fold one mutation attempt into the per-mutator yield counters.
+
+        A strict no-op unless the fuzzer zero-filled ``mutator_stats``
+        (scheduler on, or ``mutator_stats=True``): recording consumes no
+        randomness and never touches control flow, so tracked and
+        untracked runs produce identical fuzzing results.
+        """
+        table = self.stats.get("mutator_stats")
+        if table is None:
+            return
+        rec = table.get(name)
+        if rec is None:  # a mutator outside the zero-filled set
+            rec = table[name] = dict.fromkeys(MUTATOR_STAT_KEYS, 0)
+        rec["attempts"] += 1
+        if changed:
+            rec["changed"] += 1
+        if compiled:
+            rec["compiled"] += 1
+        if crashed:
+            rec["crashes"] += 1
+        if coverage_gain:
+            rec["coverage_gain"] += coverage_gain
 
     def adopt_telemetry(self, session: TelemetrySession) -> None:
         """Re-home this fuzzer's metrics onto an external (sinked) session.

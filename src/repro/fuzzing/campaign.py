@@ -15,6 +15,7 @@ from repro.compiler.driver import Compiler
 from repro.muast.registry import MutatorRegistry, global_registry
 from repro.resilience.circuit import MutatorQuarantine
 from repro.resilience.faultinject import CellFault
+from repro.fuzzing.schedule import MutatorScheduler
 from repro.telemetry import TelemetrySession
 
 # Importing the library populates the global registry with all 118 mutators.
@@ -109,6 +110,8 @@ def make_fuzzer(
     fuse_passes: bool = False,
     flat_ir: bool = False,
     batch_compile: bool = False,
+    scheduler: "MutatorScheduler | None" = None,
+    mutator_stats: bool | None = None,
     telemetry: TelemetrySession | None = None,
 ) -> Fuzzer:
     """Instantiate one of the six evaluated fuzzers by its paper name."""
@@ -119,7 +122,7 @@ def make_fuzzer(
     )
     # ``session=True`` gives the μCFuzz variants a private per-cell
     # CompileSession (cross-step middle-end memoization); the generator
-    # baselines ignore it.
+    # baselines ignore it, as they do the evolutionary scheduler.
     session_arg = True if session else None
     if name == "uCFuzz.s":
         fuzzer: Fuzzer = MuCFuzz(
@@ -128,6 +131,7 @@ def make_fuzzer(
             incremental=incremental, paranoid=paranoid,
             session=session_arg, fuse_passes=fuse_passes,
             flat_ir=flat_ir, batch_compile=batch_compile,
+            scheduler=scheduler, mutator_stats=mutator_stats,
         )
     elif name == "uCFuzz.u":
         fuzzer = MuCFuzz(
@@ -136,6 +140,7 @@ def make_fuzzer(
             incremental=incremental, paranoid=paranoid,
             session=session_arg, fuse_passes=fuse_passes,
             flat_ir=flat_ir, batch_compile=batch_compile,
+            scheduler=scheduler, mutator_stats=mutator_stats,
         )
     elif name == "AFL++":
         fuzzer = AFLPlusPlus(compiler, rng, seeds)
@@ -206,6 +211,8 @@ def run_campaign(
             )
         for name in (step.stats or {}).get("quarantined", ()):
             telem.emit("quarantine", name, step=i + 1)
+        for name in (step.stats or {}).get("retired", ()):
+            telem.emit("quarantine", name, step=i + 1, reason="retired")
         if (i + 1) % sample_every == 0 or i + 1 == steps:
             result.coverage_trend.append((vhour, len(fuzzer.coverage)))
             telem.emit(
@@ -250,6 +257,14 @@ class Campaign:
     flat_ir: bool = False
     #: Compile each μCFuzz step's attempt set as one session batch.
     batch_compile: bool = False
+    #: Evolutionary mutator scheduling: give each μCFuzz cell a
+    #: fitness-proportional :class:`MutatorScheduler` seeded from the cell
+    #: seed (scheduled cells stay serial == parallel == fabric identical).
+    schedule: bool = False
+    #: Track per-mutator yield counters even without the scheduler (the
+    #: uniform arm of the scheduling ablation); ``None`` follows
+    #: ``schedule``.
+    mutator_stats: bool | None = None
     #: Stream per-cell telemetry (JSONL events) into this directory; the
     #: resilient runner additionally writes a ``grid.jsonl`` of cell
     #: lifecycle events.  None (the default) disables the sinks.  Telemetry
@@ -286,6 +301,8 @@ class Campaign:
                 fuse_passes=self.fuse_passes,
                 flat_ir=self.flat_ir,
                 batch_compile=self.batch_compile,
+                schedule=self.schedule,
+                mutator_stats=self.mutator_stats,
                 telemetry_dir=self.telemetry_dir,
             )
             for compiler in self.compilers

@@ -145,8 +145,10 @@ class MacroFuzzer(CoverageGuidedFuzzer):
                     "quarantine", info.name, reason=type(exc).__name__
                 )
             return None
+        if not outcome.changed:
+            # No-op applications are not successes: they must not reset the
+            # breaker's consecutive-failure streak (see MuCFuzz._mutate).
+            return None
         if self.quarantine is not None:
             self.quarantine.record_success(info.name)
-        if not outcome.changed:
-            return None
         return outcome.mutant_text, outcome.edits

@@ -22,6 +22,7 @@ from repro.muast.mutator import MutatorCrash, MutatorHang, apply_mutator
 from repro.muast.registry import MutatorInfo
 from repro.resilience.circuit import MutatorQuarantine
 from repro.fuzzing.base import CoverageGuidedFuzzer, StepResult
+from repro.fuzzing.schedule import MutatorScheduler, zero_mutator_stats
 
 #: How many mutators of the shuffled list one iteration may try before
 #: giving up (a timeslice; Algorithm 1's inner loop is unbounded).
@@ -51,6 +52,8 @@ class MuCFuzz(CoverageGuidedFuzzer):
         fuse_passes: bool = False,
         flat_ir: bool = False,
         batch_compile: bool = False,
+        scheduler: MutatorScheduler | None = None,
+        mutator_stats: bool | None = None,
     ) -> None:
         super().__init__(compiler, rng, seeds)
         self.mutators = list(mutators)
@@ -89,6 +92,19 @@ class MuCFuzz(CoverageGuidedFuzzer):
         self.incremental = incremental and self.cache is not None
         #: Cross-check every cached/incremental compile against a full one.
         self.paranoid = paranoid
+        #: Evolutionary outer loop: a seeded fitness-proportional bandit
+        #: that reorders each step's mutator try-list from the per-mutator
+        #: yield stats.  ``None`` (the default) keeps the paper's uniform
+        #: Algorithm 1 ordering byte-for-byte.
+        self.scheduler = scheduler
+        if mutator_stats is None:
+            mutator_stats = scheduler is not None
+        elif not mutator_stats and scheduler is not None:
+            raise ValueError("a MutatorScheduler requires mutator_stats")
+        if scheduler is not None and quarantine is None:
+            # Population management (retirement) lives on the quarantine;
+            # threshold=None keeps the crash breaker itself disabled.
+            quarantine = MutatorQuarantine(threshold=None)
         self.quarantine = quarantine
         self.stats.update(
             {
@@ -98,6 +114,16 @@ class MuCFuzz(CoverageGuidedFuzzer):
                 "unchanged": 0,
             }
         )
+        if quarantine is not None:
+            # Zero-filled up front: a cell that never skips still carries
+            # the key, so grid merge_stats summaries are schema-uniform.
+            self.stats.setdefault("quarantine_skips", 0)
+        if mutator_stats:
+            self.stats["mutator_stats"] = zero_mutator_stats(
+                info.name for info in self.mutators
+            )
+        if scheduler is not None:
+            scheduler.attach(self.stats["mutator_stats"], quarantine)
 
     def stats_snapshot(self) -> dict:
         if self.session is not None:
@@ -123,25 +149,36 @@ class MuCFuzz(CoverageGuidedFuzzer):
         events_before = (
             len(self.quarantine.events) if self.quarantine is not None else 0
         )
+        retired_before = (
+            len(self.quarantine.retirements)
+            if self.quarantine is not None
+            else 0
+        )
         parent = self.pool.random_choice(self.rng)
         order = list(self.mutators)
+        # The uniform shuffle always runs (same fuzzer-RNG draws with the
+        # scheduler on or off); the scheduler then reorders the shuffled
+        # list using only its own seeded RNG — RNG-neutral by construction.
         self.rng.shuffle(order)
+        if self.scheduler is not None:
+            order = self.scheduler.order(order)
         if self.batch_compile:
             return self._step_batched(
-                parent, order, attempts_before, cache_before, events_before
+                parent, order, attempts_before, cache_before, events_before,
+                retired_before,
             )
         last: StepResult | None = None
         for info in order[:MAX_TRIES_PER_ITERATION]:
             if self.quarantine is not None and not self.quarantine.allows(
                 info.name
             ):
-                self.stats.setdefault("quarantine_skips", 0)
                 self.stats["quarantine_skips"] += 1
                 continue
             self.stats["attempts"] += 1
             mutated = self._mutate(parent.text, info)
             if mutated is None or mutated[0] == parent.text:
                 self.stats["unchanged"] += 1
+                self.record_mutator_yield(info.name)
                 continue
             mutant, edits = mutated
             result = self.compiler.compile(
@@ -151,12 +188,26 @@ class MuCFuzz(CoverageGuidedFuzzer):
                 paranoid=self.paranoid,
             )
             kept = self.keep_if_new_coverage(mutant, result, parent, info.name)
+            covered_before = len(self.coverage)
             self.coverage.merge(result.coverage)
+            self.record_mutator_yield(
+                info.name,
+                changed=True,
+                compiled=result.ok,
+                crashed=result.crashed,
+                coverage_gain=len(self.coverage) - covered_before,
+            )
             last = StepResult(mutant, result, kept=kept, mutator=info.name)
             if kept or result.crashed:
-                return self._finish(last, attempts_before, cache_before, events_before)
+                return self._finish(
+                    last, attempts_before, cache_before, events_before,
+                    retired_before,
+                )
         if last is not None:
-            return self._finish(last, attempts_before, cache_before, events_before)
+            return self._finish(
+                last, attempts_before, cache_before, events_before,
+                retired_before,
+            )
         # Nothing mutated this round; recompile the parent (a no-op round).
         result = self.compiler.compile(
             parent.text, cache=self.cache, paranoid=self.paranoid
@@ -167,6 +218,7 @@ class MuCFuzz(CoverageGuidedFuzzer):
             attempts_before,
             cache_before,
             events_before,
+            retired_before,
         )
 
     def _step_batched(
@@ -176,6 +228,7 @@ class MuCFuzz(CoverageGuidedFuzzer):
         attempts_before: int,
         cache_before: tuple[int, int],
         events_before: int,
+        retired_before: int = 0,
     ) -> StepResult:
         """One iteration routed through :meth:`Compiler.compile_batch`.
 
@@ -194,13 +247,13 @@ class MuCFuzz(CoverageGuidedFuzzer):
                 if self.quarantine is not None and not self.quarantine.allows(
                     info.name
                 ):
-                    self.stats.setdefault("quarantine_skips", 0)
                     self.stats["quarantine_skips"] += 1
                     continue
                 self.stats["attempts"] += 1
                 mutated = self._mutate(parent.text, info)
                 if mutated is None or mutated[0] == parent.text:
                     self.stats["unchanged"] += 1
+                    self.record_mutator_yield(info.name)
                     continue
                 mutant, edits = mutated
                 state["pending"] = (mutant, info)
@@ -211,7 +264,15 @@ class MuCFuzz(CoverageGuidedFuzzer):
         def until(result) -> bool:
             mutant, info = state.pop("pending")
             kept = self.keep_if_new_coverage(mutant, result, parent, info.name)
+            covered_before = len(self.coverage)
             self.coverage.merge(result.coverage)
+            self.record_mutator_yield(
+                info.name,
+                changed=True,
+                compiled=result.ok,
+                crashed=result.crashed,
+                coverage_gain=len(self.coverage) - covered_before,
+            )
             state["last"] = StepResult(
                 mutant, result, kept=kept, mutator=info.name
             )
@@ -222,7 +283,10 @@ class MuCFuzz(CoverageGuidedFuzzer):
         )
         last = state.get("last")
         if last is not None:
-            return self._finish(last, attempts_before, cache_before, events_before)
+            return self._finish(
+                last, attempts_before, cache_before, events_before,
+                retired_before,
+            )
         result = self.compiler.compile(
             parent.text, cache=self.cache, paranoid=self.paranoid
         )
@@ -232,6 +296,7 @@ class MuCFuzz(CoverageGuidedFuzzer):
             attempts_before,
             cache_before,
             events_before,
+            retired_before,
         )
 
     def _finish(
@@ -240,6 +305,7 @@ class MuCFuzz(CoverageGuidedFuzzer):
         attempts_before: int,
         cache_before: tuple[int, int],
         events_before: int = 0,
+        retired_before: int = 0,
     ) -> StepResult:
         step.stats = {"attempts": self.stats["attempts"] - attempts_before}
         if self.cache is not None:
@@ -250,6 +316,11 @@ class MuCFuzz(CoverageGuidedFuzzer):
                 event.mutator
                 for event in self.quarantine.events[events_before:]
             ]
+            if self.scheduler is not None:
+                step.stats["retired"] = [
+                    event.mutator
+                    for event in self.quarantine.retirements[retired_before:]
+                ]
         return step
 
     def _mutate(self, text: str, info: MutatorInfo) -> tuple[str, tuple] | None:
@@ -267,8 +338,12 @@ class MuCFuzz(CoverageGuidedFuzzer):
                     "quarantine", info.name, reason=type(exc).__name__
                 )
             return None
+        if not outcome.changed:
+            # A no-op application is not a success: it must not reset the
+            # breaker's consecutive-failure streak, or a mutator that
+            # crashes intermittently but otherwise only no-ops would dodge
+            # quarantine forever.
+            return None
         if self.quarantine is not None:
             self.quarantine.record_success(info.name)
-        if not outcome.changed:
-            return None
         return outcome.mutant_text, outcome.edits

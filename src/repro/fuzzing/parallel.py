@@ -116,6 +116,14 @@ class CellSpec:
     flat_ir: bool = False
     #: Compile each μCFuzz step's attempt set as one session batch.
     batch_compile: bool = False
+    #: Evolutionary mutator scheduling: the worker builds a
+    #: :class:`~repro.fuzzing.schedule.MutatorScheduler` seeded from
+    #: ``cell_seed``, so every execution of the spec — serial, parallel,
+    #: or fabric — schedules identically.
+    schedule: bool = False
+    #: Track per-mutator yield counters without the scheduler (uniform
+    #: ablation arm); ``None`` follows ``schedule``.
+    mutator_stats: bool | None = None
     #: Stream this cell's telemetry events to a JSONL file in this
     #: directory (``<fuzzer>-<personality>-<version>.jsonl``).  Execution
     #: circumstance, not identity: excluded from :func:`cell_key` and from
@@ -153,6 +161,8 @@ def cell_key(spec: CellSpec) -> str:
         spec.fuse_passes,
         spec.flat_ir,
         spec.batch_compile,
+        spec.schedule,
+        spec.mutator_stats,
     )
     digest = hashlib.sha1(repr(ident).encode("utf-8")).hexdigest()
     return f"{spec.fuzzer_name}-{spec.personality}-{digest[:16]}"
@@ -227,6 +237,13 @@ def run_cell(spec: CellSpec) -> "CampaignResult":
     registry = spec.registry if spec.registry is not None else global_registry
     compiler = Compiler(spec.personality, spec.version, bug_seed=spec.bug_seed)
     session = cell_telemetry_session(spec)
+    scheduler = None
+    if spec.schedule:
+        from repro.fuzzing.schedule import MutatorScheduler
+
+        # Derived from the cell seed, never from the fuzzer's RNG stream:
+        # a retried/re-dispatched spec rebuilds the identical scheduler.
+        scheduler = MutatorScheduler.from_cell_seed(spec.cell_seed)
     fuzzer = make_fuzzer(
         spec.fuzzer_name,
         compiler,
@@ -241,6 +258,8 @@ def run_cell(spec: CellSpec) -> "CampaignResult":
         fuse_passes=spec.fuse_passes,
         flat_ir=spec.flat_ir,
         batch_compile=spec.batch_compile,
+        scheduler=scheduler,
+        mutator_stats=spec.mutator_stats,
         telemetry=session,
     )
     try:

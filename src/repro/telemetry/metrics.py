@@ -158,15 +158,8 @@ class MetricsRegistry:
             self.add_wall(name, secs)
 
 
-def merge_stats(snapshots: Iterable[dict]) -> dict:
-    """Deterministically fold per-cell stats snapshots into one summary.
-
-    Numeric values sum, lists union (sorted), nested dicts recurse, and the
-    known derived ratios of :data:`DERIVED_RATES` are recomputed from their
-    merged numerator/denominator instead of being (meaninglessly) summed.
-    Fold order does not matter for the result, so serial and parallel
-    campaigns merge to identical summaries.
-    """
+def _merge_layer(snapshots: Iterable[dict]) -> dict:
+    """One fold layer: sums, event-list counters, and dict recursion."""
     merged: dict = {}
     for snap in snapshots:
         for key, value in snap.items():
@@ -177,11 +170,38 @@ def merge_stats(snapshots: Iterable[dict]) -> dict:
             elif isinstance(value, (int, float)):
                 merged[key] = merged.get(key, 0) + value
             elif isinstance(value, list):
-                merged[key] = sorted(set(merged.get(key, [])) | set(value))
+                # Event lists merge as a counter dict: the same mutator
+                # quarantined in N cells must count N times, not collapse
+                # into a set.  Counting is commutative, so fold order
+                # still cannot change the result; re-merging an
+                # already-merged summary sums the counters via the dict
+                # branch below.
+                counts = merged.get(key)
+                if not isinstance(counts, dict):
+                    counts = {}
+                for item in value:
+                    counts[item] = counts.get(item, 0) + 1
+                merged[key] = dict(sorted(counts.items()))
             elif isinstance(value, dict):
-                merged[key] = merge_stats([merged.get(key, {}), value])
+                merged[key] = _merge_layer([merged.get(key, {}), value])
             else:
                 merged.setdefault(key, value)
+    return merged
+
+
+def merge_stats(snapshots: Iterable[dict]) -> dict:
+    """Deterministically fold per-cell stats snapshots into one summary.
+
+    Numeric values sum, event lists merge as ``value -> count`` counter
+    dicts (multiplicity preserved), nested dicts recurse, and the known
+    derived ratios of :data:`DERIVED_RATES` are recomputed — at the top
+    level only, so a nested counter schema that happens to reuse a source
+    key (e.g. per-mutator ``attempts``) never grows spurious rate keys —
+    from their merged numerator/denominator instead of being
+    (meaninglessly) summed.  Fold order does not matter for the result, so
+    serial and parallel campaigns merge to identical summaries.
+    """
+    merged = _merge_layer(snapshots)
     for rate, (num, den) in DERIVED_RATES.items():
         if num in merged or den in merged:
             denominator = merged.get(den, 0)

@@ -96,12 +96,25 @@ class TestMetrics:
         assert merged["attempts_per_step"] == pytest.approx(2.0)
         assert merge_stats(cells) == merge_stats(reversed(cells))
 
-    def test_merge_stats_unions_lists(self):
-        merged = merge_stats(
-            [{"quarantined_mutators": ["b", "a"]},
-             {"quarantined_mutators": ["a", "c"]}]
-        )
-        assert merged["quarantined_mutators"] == ["a", "b", "c"]
+    def test_merge_stats_counts_list_events(self):
+        # Event lists fold into value -> count dicts: the same mutator
+        # quarantined in two cells counts twice instead of collapsing
+        # into a set, and fold order still cannot change the result.
+        cells = [
+            {"quarantined_mutators": ["b", "a"]},
+            {"quarantined_mutators": ["a", "c"]},
+        ]
+        merged = merge_stats(cells)
+        assert merged["quarantined_mutators"] == {"a": 2, "b": 1, "c": 1}
+        assert merge_stats(cells) == merge_stats(reversed(cells))
+
+    def test_merge_stats_remerges_merged_summaries(self):
+        # A summary of summaries sums the counter dicts rather than
+        # re-counting them as opaque values.
+        first = merge_stats([{"quarantined_mutators": ["m"]}])
+        second = merge_stats([{"quarantined_mutators": ["m", "n"]}])
+        total = merge_stats([first, second])
+        assert total["quarantined_mutators"] == {"m": 2, "n": 1}
 
 
 # ---------------------------------------------------------------------------
