@@ -256,7 +256,11 @@ def _lower_function_flat(fn: IRFunction, ctx: OptContext) -> BackendResult:
     from repro.compiler import flatir as F
 
     cov = ctx.cov
-    buf = F.from_nodes(fn)
+    buffer = getattr(fn, "buffer", None)
+    if buffer is not None:  # FlatFunction: walk its live buffer directly
+        buf = buffer()
+    else:
+        buf = F.from_nodes(fn, getattr(ctx, "bridge", None))
     names = buf.names
     imms = buf.imms
     opcl, dstl, al, bl, tyl, auxl = buf.opc, buf.dst, buf.a, buf.b, buf.ty, buf.aux

@@ -22,6 +22,7 @@ from repro.compiler import features as feat
 from repro.compiler.bugs import BugRegistry
 from repro.compiler.coverage import CoverageMap
 from repro.compiler.crash import CompilerCrash, CompilerHang
+from repro.compiler.flatir import BridgeCounters
 from repro.compiler.incremental import (
     assert_results_equal,
     lower_and_optimize,
@@ -84,6 +85,7 @@ class Compiler:
         session: CompileSession | None = None,
         fuse_passes: bool = False,
         flat_ir: bool = False,
+        flat_native: bool = False,
     ) -> None:
         assert personality in ("gcc-sim", "clang-sim")
         self.personality = personality
@@ -103,7 +105,18 @@ class Compiler:
         #: :class:`~repro.compiler.flatir.IRBuffer` instead of the object IR
         #: (bit-identical observable behaviour; takes precedence over
         #: ``fuse_passes`` for pass selection).
-        self.flat_ir = flat_ir
+        self.flat_ir = flat_ir or flat_native
+        #: Keep the whole middle end buffer-native: irgen emits
+        #: :class:`~repro.compiler.flatir.IRBuffer` rows directly, inlining/
+        #: strlen/vectorize run their flat ports, the backend walks the live
+        #: buffer, and journal replay serves buffer snapshots.  Implies
+        #: ``flat_ir``; bit-identical observable behaviour.
+        self.flat_native = flat_native
+        #: Object<->buffer bridge crossings charged to this compiler
+        #: (``flat_encodes``/``flat_decodes`` in ``stats_snapshot``).  Like
+        #: ``fused_pass_runs``, deliberately outside the compared
+        #: feature/stats space.
+        self.bridge = BridgeCounters()
         #: Fused fixpoint loops executed (deliberately outside the compared
         #: feature/stats space — see ``OptContext.fused_runs``).
         self.fused_pass_runs = 0
@@ -189,13 +202,16 @@ class Compiler:
             # flat, so every paranoid check doubles as a flat-vs-object
             # differential on top of the cached-vs-fresh one.
             flat_prev = self.flat_ir
+            flat_native_prev = self.flat_native
             self.flat_ir = False
+            self.flat_native = False
             try:
                 reference = self.compile(
                     source_text, opt_level, flags, cache=None, session=None
                 )
             finally:
                 self.flat_ir = flat_prev
+                self.flat_native = flat_native_prev
             if session is not None:
                 session.paranoid_checks += 1
             assert_results_equal(result, reference)
@@ -233,7 +249,11 @@ class Compiler:
             ):
                 parent_text = edits_from[0]
                 options = middle_memo_key(
-                    self.name, self.bug_seed, opt_level, tuple(flags)
+                    self.name,
+                    self.bug_seed,
+                    opt_level,
+                    tuple(flags),
+                    mode="flat-native" if self.flat_native else "",
                 )
                 if not session.has_result(options, parent_text):
                     # Observationally pure for the caller: the parent was

@@ -43,10 +43,14 @@ from repro.cast.incremental import IncrementalDivergence
 from repro.compiler.backend import BackendResult, _lower_function, lower_to_asm
 from repro.compiler.flatir import FunctionSnapshot
 from repro.compiler.ir import IRFunction, IRModule
-from repro.compiler.irgen import IRGen, LoweringError
+from repro.compiler.irgen import FlatIRGen, IRGen, LoweringError
 from repro.compiler.passes import (
     OptContext,
     cleanup_opt,
+    flat_inline_into_caller,
+    flat_inlinable,
+    flat_loop_vectorize,
+    flat_strlen_opt_fn,
     inline_candidates,
     inline_into_caller,
     local_opt,
@@ -61,9 +65,18 @@ class _MiddleAbort(Exception):
     """Internal: the incremental middle end hit an ineligible state."""
 
 
-def middle_memo_key(name: str, bug_seed: int, opt_level: int, flags: tuple) -> str:
-    """Memo key for one (personality, bug seed, options) middle-end run."""
-    return f"middle:{name}:{bug_seed}:{opt_level}:{','.join(flags)}"
+def middle_memo_key(
+    name: str, bug_seed: int, opt_level: int, flags: tuple, mode: str = ""
+) -> str:
+    """Memo key for one (personality, bug seed, options) middle-end run.
+
+    ``mode`` keys the function-carrier representation: flat-native runs
+    store :class:`~repro.compiler.flatir.FlatFunction` records in the memo,
+    so they must never share a memo slot with object-IR runs even if a
+    cache were handed between differently-configured compilers.
+    """
+    suffix = f":{mode}" if mode else ""
+    return f"middle:{name}:{bug_seed}:{opt_level}:{','.join(flags)}{suffix}"
 
 
 @dataclass(frozen=True)
@@ -216,7 +229,17 @@ class _MiddleRun:
     # ---------------------------------------------------------------- irgen
 
     def lower(self) -> IRModule:
-        irgen = IRGen(self.entry.sema, self.cov)
+        if getattr(self.compiler, "flat_native", False):
+            # Buffer-direct emission: dirty declarations lower straight into
+            # IRBuffers and replayed DeclRecords re-inject the parent's
+            # FlatFunction carriers verbatim — no encode, no decode.
+            irgen = FlatIRGen(
+                self.entry.sema,
+                self.cov,
+                counters=getattr(self.compiler, "bridge", None),
+            )
+        else:
+            irgen = IRGen(self.entry.sema, self.cov)
         irgen._collect_enums(self.unit)
         if self.capture:
             self.memo.enum_values = dict(irgen._enum_values)
@@ -307,6 +330,12 @@ class _MiddleRun:
             if self.capture:
                 self.memo.phase_events[key] = tuple(self.journal[start:])
 
+        # Flat-native runs splice/scan IRBuffers directly; the object
+        # stage entry points remain the paranoid reference path.
+        inline_fn = flat_inline_into_caller if ctx.flat_native else inline_into_caller
+        strlen_fn = flat_strlen_opt_fn if ctx.flat_native else strlen_opt_fn
+        vectorize_fn = flat_loop_vectorize if ctx.flat_native else loop_vectorize
+
         for fn in list(module.functions.values()):
             drive("local", fn, lambda f=fn: local_opt(f, ctx))
         if ctx.opt_level >= 2:
@@ -316,15 +345,15 @@ class _MiddleRun:
                     drive(
                         "inline",
                         caller,
-                        lambda c=caller: inline_into_caller(c, candidates, ctx),
+                        lambda c=caller: inline_fn(c, candidates, ctx),
                     )
             for fn in module.functions.values():
-                drive("strlen", fn, lambda f=fn: strlen_opt_fn(f, module, ctx))
+                drive("strlen", fn, lambda f=fn: strlen_fn(f, module, ctx))
             for fn in list(module.functions.values()):
                 drive("cleanup", fn, lambda f=fn: cleanup_opt(f, ctx))
         if ctx.opt_level >= 3 or ctx.flag("-ftree-vectorize"):
             for fn in list(module.functions.values()):
-                drive("vectorize", fn, lambda f=fn: loop_vectorize(f, ctx))
+                drive("vectorize", fn, lambda f=fn: vectorize_fn(f, ctx))
 
     # -------------------------------------------------------------- backend
 
@@ -369,27 +398,44 @@ class _MiddleRun:
         }
 
     def _candidates(self, module: IRModule, dirty: set) -> dict:
+        flat_native = getattr(self.compiler, "flat_native", False)
         if self.parent_memo is None:
-            candidates = inline_candidates(module)
+            if flat_native:
+                candidates = {
+                    name: fn.buffer()
+                    for name, fn in module.functions.items()
+                    if flat_inlinable(fn.buffer())
+                }
+            else:
+                candidates = inline_candidates(module)
             if self.capture:
                 # Candidate bodies get inlined into callers by value;
                 # snapshot them at this (post-local-opt) point so children
                 # can reuse them after later phases mutate the live objects.
                 self.memo.candidate_names = frozenset(candidates)
                 self.memo.candidate_snapshots = {
-                    name: FunctionSnapshot.of(fn)
-                    for name, fn in candidates.items()
+                    name: FunctionSnapshot.of(module.functions[name])
+                    for name in candidates
                 }
             return candidates
         for name in dirty:
-            if name in self.parent_memo.candidate_names or _inlinable(
-                module.functions[name]
-            ):
+            fn = module.functions[name]
+            is_candidate = (
+                flat_inlinable(fn.buffer()) if flat_native else _inlinable(fn)
+            )
+            if name in self.parent_memo.candidate_names or is_candidate:
                 # A dirty function that is (or was) an inline candidate can
                 # change the bodies inlined into *clean* callers.
                 raise _MiddleAbort("dirty function affects inline candidacy")
         self.memo.candidate_names = self.parent_memo.candidate_names
         self.memo.candidate_snapshots = self.parent_memo.candidate_snapshots
+        if flat_native:
+            # Serve the snapshot buffers directly to the flat inliner:
+            # cache-served callee bodies never cross the IR bridge.
+            return {
+                name: snap.buf
+                for name, snap in self.parent_memo.candidate_snapshots.items()
+            }
         return {
             name: snap.materialize()
             for name, snap in self.parent_memo.candidate_snapshots.items()
@@ -428,7 +474,11 @@ def lower_and_optimize(
     (for the stage-scaled cost model).
     """
     key = middle_memo_key(
-        compiler.name, compiler.bug_seed, opt_level, tuple(flags)
+        compiler.name,
+        compiler.bug_seed,
+        opt_level,
+        tuple(flags),
+        mode="flat-native" if getattr(compiler, "flat_native", False) else "",
     )
     memoized = entry.memo.get(key) if journal is not None else None
     if memoized is not None and memoized.result is not None:
@@ -516,6 +566,8 @@ def _run_middle(
             checkpoint=run.checkpoint,
             fuse=getattr(compiler, "fuse_passes", False),
             flat=getattr(compiler, "flat_ir", False),
+            flat_native=getattr(compiler, "flat_native", False),
+            bridge=getattr(compiler, "bridge", None),
         )
         if journal is not None:
             ctx.stats.journal = run.journal

@@ -378,13 +378,24 @@ class Interpreter:
     # -- flat execution ----------------------------------------------------
 
     def _flat_entry(self, fn: IRFunction):
-        """The cached (buffer, label-id block map) encoding of ``fn``."""
+        """The cached (buffer, label-id block map) encoding of ``fn``.
+
+        A function that already carries a flat buffer — a ``FlatFunction``
+        from the buffer-direct irgen, or anything exposing ``.buffer()``
+        such as a ``FunctionSnapshot``-backed carrier — is used as-is; only
+        plain object functions pay the ``from_nodes`` encode, and only once
+        per function identity.
+        """
         cached = self._flat_cache.get(fn.name)
         if cached is not None and cached[0] is fn:
             return cached[1], cached[2]
-        from repro.compiler.flatir import from_nodes
+        buffer = getattr(fn, "buffer", None)
+        if buffer is not None:
+            buf = buffer()
+        else:
+            from repro.compiler.flatir import from_nodes
 
-        buf = from_nodes(fn)
+            buf = from_nodes(fn)
         block_map = {blk[0]: blk for blk in buf.blocks}
         self._flat_cache[fn.name] = (fn, buf, block_map)
         return buf, block_map

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from repro.cast import ast_nodes as ast
 from repro.cast import types as ct
 from repro.cast.sema import Sema
+from repro.compiler import flatir as F
 from repro.compiler import layout
 from repro.compiler.coverage import CoverageMap
 from repro.compiler.ir import (
@@ -43,9 +44,10 @@ class IRGenStats:
 
 
 class _FunctionCtx:
-    def __init__(self, fn: IRFunction) -> None:
+    def __init__(self, fn, entry: Block) -> None:
         self.fn = fn
-        self.current = fn.blocks[0]
+        self.entry = entry
+        self.current = entry
         self.temp_counter = 0
         self.block_counter = 0
         self.break_stack: list[str] = []
@@ -105,8 +107,45 @@ class IRGen:
         self.ctx.current = block
 
     def _seal_with_jmp(self, target: Block) -> None:
-        if self.ctx.current.terminator is None:
+        if self._unterminated():
             self._emit(Jmp(target.label))
+
+    # Function-carrier hooks.  ``FlatIRGen`` overrides these (plus
+    # ``_new_block``/``_emit``/``_set_current``) to grow an ``IRBuffer``
+    # instead of an ``IRFunction``; every lowering decision above this seam
+    # is shared, so temp numbering, block labels, coverage edges, and stats
+    # are identical by construction.
+
+    def _begin_function(self, decl: ast.FunctionDecl, ret_ty: IRType) -> None:
+        fn = IRFunction(
+            decl.name,
+            [],
+            ret_ty,
+            blocks=[Block("entry")],
+            attributes=list(decl.attributes),
+        )
+        self.module.functions[decl.name] = fn
+        self._ctx = _FunctionCtx(fn, fn.blocks[0])
+
+    def _end_function(self) -> None:
+        self._ctx = None
+
+    def _add_param(self, name: str, pty: IRType) -> None:
+        self.ctx.fn.params.append((name, pty))
+
+    def _unterminated(self) -> bool:
+        return self.ctx.current.terminator is None
+
+    def _block_by_label(self, label: str) -> Block:
+        return self.ctx.fn.block(label)
+
+    def _empty_user_labels(self) -> int:
+        return sum(
+            1
+            for b in self.ctx.fn.blocks
+            if b.label.startswith("ul_")
+            and all(isinstance(i, (Jmp, Ret)) for i in b.instrs)
+        )
 
     def _collect_enums(self, unit: ast.TranslationUnit) -> None:
         for node in unit.walk():
@@ -277,19 +316,11 @@ class IRGen:
             )
         except layout.LayoutError as exc:
             raise LoweringError(str(exc)) from exc
-        fn = IRFunction(
-            decl.name,
-            [],
-            ret_ty,
-            blocks=[Block("entry")],
-            attributes=list(decl.attributes),
-        )
         if decl.return_type.is_record() or decl.return_type.is_complex():
             raise LoweringError(
                 f"returning aggregates from {decl.name!r} is unsupported"
             )
-        self.module.functions[decl.name] = fn
-        self._ctx = _FunctionCtx(fn)
+        self._begin_function(decl, ret_ty)
         self.cov.hit("irgen:function", (len(decl.params), ret_ty))
         self.stats.bump("functions")
         if decl.return_type.is_void():
@@ -306,27 +337,28 @@ class IRGen:
                 self.ctx.label_blocks[node.name] = block.label
                 self.stats.bump("labels")
 
+        params: list[tuple[str, IRType]] = []
         for p in decl.params:
             if not p.type.is_scalar():
                 raise LoweringError(
                     f"aggregate parameter {p.name!r} is unsupported"
                 )
             pty = layout.ir_type_of(p.type)
-            fn.params.append((p.name, pty))
+            self._add_param(p.name, pty)
+            params.append((p.name, pty))
             slot = self._alloc_slot(p.name, p.type)
             self.ctx.locals[id(p)] = (slot, p.type)
 
         # Spill incoming parameter values into their slots.
-        entry = fn.blocks[0]
-        self._set_current(entry)
+        self._set_current(self.ctx.entry)
         for i, p in enumerate(decl.params):
             addr = self._temp()
-            self._emit(LocalAddr(addr, fn.params[i][0] + ".slot"))
-            self._emit(Store(addr, Temp(-(i + 1)), fn.params[i][1]))
+            self._emit(LocalAddr(addr, params[i][0] + ".slot"))
+            self._emit(Store(addr, Temp(-(i + 1)), params[i][1]))
 
         self._lower_stmt(decl.body)
         # Implicit return at the end of the function.
-        if self.ctx.current.terminator is None:
+        if self._unterminated():
             if ret_ty is IRType.VOID:
                 self._emit(Ret(None, IRType.VOID))
             else:
@@ -336,16 +368,9 @@ class IRGen:
         # blocks carry no computation — the returns that used to live there
         # were removed.  Recorded pre-optimization, where the label structure
         # is still visible.
-        if ret_ty is IRType.VOID:
-            empty_labels = sum(
-                1
-                for b in fn.blocks
-                if b.label.startswith("ul_")
-                and all(isinstance(i, (Jmp, Ret)) for i in b.instrs)
-            )
-            if empty_labels >= 2:
-                self.stats.bump("ret2v_shape")
-        self._ctx = None
+        if ret_ty is IRType.VOID and self._empty_user_labels() >= 2:
+            self.stats.bump("ret2v_shape")
+        self._end_function()
 
     def _alloc_slot(self, hint: str, qt: ct.QualType) -> str:
         base = f"{hint}.slot"
@@ -652,7 +677,7 @@ class IRGen:
         self._set_current(self._new_block("after.goto"))
 
     def _stmt_LabelStmt(self, stmt: ast.LabelStmt) -> None:
-        target = self.ctx.fn.block(self.ctx.label_blocks[stmt.name])
+        target = self._block_by_label(self.ctx.label_blocks[stmt.name])
         self._seal_with_jmp(target)
         self._set_current(target)
         self._lower_stmt(stmt.stmt)
@@ -1240,3 +1265,88 @@ def _common_ty(a: IRType, b: IRType) -> IRType:
         return IRType.PTR
     order = [IRType.I8, IRType.I16, IRType.I32, IRType.I64]
     return order[max(order.index(a), order.index(b))]
+
+
+class FlatIRGen(IRGen):
+    """Buffer-direct lowering: rows go straight into an :class:`IRBuffer`.
+
+    Every lowering decision — expression shapes, temp numbering, block
+    labels, coverage edges, stats — runs through the shared ``IRGen``
+    lowerers; only the function carrier and the emission seam differ.
+    Blocks exist as lightweight label handles (plain ``Block`` objects with
+    empty instruction lists) so the shared lowerers can keep passing
+    ``block.label`` to branches, while the authoritative block structure
+    lives in ``IRBuffer.blocks``.  The per-instruction ``Instr`` object the
+    lowerers build is encoded into a row and discarded; no object-form
+    function is ever registered in the module.
+    """
+
+    def __init__(self, sema: Sema, cov: CoverageMap | None = None,
+                 counters=None) -> None:
+        super().__init__(sema, cov)
+        self.counters = counters
+        self._buf = None
+        self._rows: dict[str, list] = {}
+        self._handles: dict[str, Block] = {}
+        self._cur_row: list | None = None
+
+    def _begin_function(self, decl: ast.FunctionDecl, ret_ty: IRType) -> None:
+        buf = F.IRBuffer(decl.name, (), F.TYPE_TAG[ret_ty])
+        buf.attributes = list(decl.attributes)
+        self.module.functions[decl.name] = F.FlatFunction(buf, self.counters)
+        entry = Block("entry")
+        row = [buf.name_id("entry"), []]
+        buf.blocks.append(row)
+        self._buf = buf
+        self._rows = {"entry": row}
+        self._handles = {"entry": entry}
+        self._cur_row = row
+        self._ctx = _FunctionCtx(self.module.functions[decl.name], entry)
+
+    def _end_function(self) -> None:
+        self._ctx = None
+        self._buf = None
+        self._rows = {}
+        self._handles = {}
+        self._cur_row = None
+
+    def _add_param(self, name: str, pty: IRType) -> None:
+        self._buf.params.append((name, F.TYPE_TAG[pty]))
+
+    def _new_block(self, hint: str) -> Block:
+        self.ctx.block_counter += 1
+        label = f"{hint}.{self.ctx.block_counter}"
+        block = Block(label)
+        row = [self._buf.name_id(label), []]
+        self._buf.blocks.append(row)
+        self._rows[label] = row
+        self._handles[label] = block
+        return block
+
+    def _emit(self, instr: Instr) -> None:
+        idxs = self._cur_row[1]
+        if idxs and self._buf.opc[idxs[-1]] in F.TERMINATOR_OPS:
+            return  # dead code after a terminator, as in the object path
+        idxs.append(F.encode_instr(self._buf, instr))
+
+    def _set_current(self, block: Block) -> None:
+        self.ctx.current = block
+        self._cur_row = self._rows[block.label]
+
+    def _unterminated(self) -> bool:
+        idxs = self._cur_row[1]
+        return not idxs or self._buf.opc[idxs[-1]] not in F.TERMINATOR_OPS
+
+    def _block_by_label(self, label: str) -> Block:
+        return self._handles[label]
+
+    def _empty_user_labels(self) -> int:
+        buf = self._buf
+        names = buf.names
+        opc = buf.opc
+        return sum(
+            1
+            for label_id, idxs in buf.blocks
+            if names[label_id].startswith("ul_")
+            and all(opc[i] in (F.OP_JMP, F.OP_RET) for i in idxs)
+        )

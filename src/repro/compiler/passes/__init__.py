@@ -22,6 +22,12 @@ from repro.compiler.passes.strlen_opt import strlen_opt, strlen_opt_fn
 from repro.compiler.passes.loop_vectorize import loop_vectorize
 from repro.compiler.passes.fused import fused_local_opt
 from repro.compiler.passes.flat import flat_cleanup_opt, flat_local_opt
+from repro.compiler.passes.flat_inline import (
+    flat_inlinable,
+    flat_inline_into_caller,
+)
+from repro.compiler.passes.flat_strlen import flat_strlen_opt_fn
+from repro.compiler.passes.flat_vectorize import flat_loop_vectorize
 
 __all__ = [
     "OptContext",
@@ -40,6 +46,10 @@ __all__ = [
     "fused_local_opt",
     "flat_local_opt",
     "flat_cleanup_opt",
+    "flat_inlinable",
+    "flat_inline_into_caller",
+    "flat_strlen_opt_fn",
+    "flat_loop_vectorize",
     "local_opt",
     "cleanup_opt",
     "run_pipeline",
@@ -96,17 +106,33 @@ def run_pipeline(module, ctx: OptContext) -> None:
     """
     if ctx.opt_level <= 0:
         return
+    flat_native = ctx.flat_native
     for fn in list(module.functions.values()):
         local_opt(fn, ctx)
     if ctx.opt_level >= 2:
-        candidates = inline_candidates(module)
-        if candidates:
-            for caller in module.functions.values():
-                inline_into_caller(caller, candidates, ctx)
-        for fn in module.functions.values():
-            strlen_opt_fn(fn, module, ctx)
+        if flat_native:
+            candidates = {}
+            for name, fn in module.functions.items():
+                buf = fn.buffer()
+                if flat_inlinable(buf):
+                    candidates[name] = buf
+            if candidates:
+                for caller in module.functions.values():
+                    flat_inline_into_caller(caller, candidates, ctx)
+            for fn in module.functions.values():
+                flat_strlen_opt_fn(fn, module, ctx)
+        else:
+            candidates = inline_candidates(module)
+            if candidates:
+                for caller in module.functions.values():
+                    inline_into_caller(caller, candidates, ctx)
+            for fn in module.functions.values():
+                strlen_opt_fn(fn, module, ctx)
         for fn in list(module.functions.values()):
             cleanup_opt(fn, ctx)
     if ctx.opt_level >= 3 or ctx.flag("-ftree-vectorize"):
         for fn in list(module.functions.values()):
-            loop_vectorize(fn, ctx)
+            if flat_native:
+                flat_loop_vectorize(fn, ctx)
+            else:
+                loop_vectorize(fn, ctx)

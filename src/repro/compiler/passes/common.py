@@ -49,6 +49,17 @@ class OptContext:
     #: Takes precedence over :attr:`fuse` for pass selection; results are
     #: bit-identical either way.
     flat: bool = False
+    #: Keep the *whole* middle end on the buffer: irgen emits buffers,
+    #: inlining/strlen/vectorize run their flat ports, and the journal
+    #: replays buffer snapshots.  Implies :attr:`flat`; results are
+    #: bit-identical either way.
+    flat_native: bool = False
+    #: Per-compiler :class:`~repro.compiler.flatir.BridgeCounters`, threaded
+    #: through so passes can charge any object<->buffer bridge crossing they
+    #: cause.  Like :attr:`fused_runs`, deliberately not an ``OptStats``
+    #: counter: bridge accounting must not leak into the compared feature
+    #: dict or the replay journal.
+    bridge: object | None = None
 
     def flag(self, name: str) -> bool:
         return name in self.flags

@@ -516,6 +516,19 @@ def _dce(buf, ctx) -> bool:
         changed = True
 
 
+def _enter_buffer(fn, ctx):
+    """The working buffer for ``fn`` plus whether to write object IR back.
+
+    A buffer-backed :class:`~repro.compiler.flatir.FlatFunction` is mutated
+    in place with no bridge crossing; a plain ``IRFunction`` pays the
+    encode/decode bridge, charged to ``ctx.bridge``.
+    """
+    buffer = getattr(fn, "buffer", None)
+    if buffer is not None:
+        return buffer(), False
+    return from_nodes(fn, ctx.bridge), True
+
+
 def flat_local_opt(fn, ctx) -> None:
     """The per-function -O1 fixpoint round over the flat buffer.
 
@@ -524,7 +537,7 @@ def flat_local_opt(fn, ctx) -> None:
     ``fused_runs`` is only bumped when the context actually asked for
     fusion, keeping that non-stat diagnostic comparable across knobs.
     """
-    buf = from_nodes(fn)
+    buf, writeback = _enter_buffer(fn, ctx)
     if ctx.fuse:
         ctx.fused_runs += 1
     changed = True
@@ -541,15 +554,17 @@ def flat_local_opt(fn, ctx) -> None:
         _replace_all(buf, mapping, _chain_get)
         changed |= _dce(buf, ctx)
     ctx.stats.bump("opt_rounds", rounds)
-    fn.blocks = to_nodes(buf).blocks
+    if writeback:
+        fn.blocks = to_nodes(buf, ctx.bridge).blocks
 
 
 def flat_cleanup_opt(fn, ctx) -> None:
     """The post-inline cleanup round (const_fold + simplify_cfg + dce)."""
-    buf = from_nodes(fn)
+    buf, writeback = _enter_buffer(fn, ctx)
     mapping: dict = {}
     _const_fold(buf, ctx, mapping, _flat_get)
     _replace_all(buf, mapping, _flat_get)
     _simplify_cfg(buf, ctx)
     _dce(buf, ctx)
-    fn.blocks = to_nodes(buf).blocks
+    if writeback:
+        fn.blocks = to_nodes(buf, ctx.bridge).blocks

@@ -56,7 +56,7 @@ from repro.cast.cache import decl_digests, source_digest
 from repro.compiler.backend import BackendResult, _lower_function, lower_to_asm
 from repro.compiler.flatir import FunctionSnapshot
 from repro.compiler.ir import IRFunction, IRModule
-from repro.compiler.irgen import IRGen, LoweringError
+from repro.compiler.irgen import FlatIRGen, IRGen, LoweringError
 from repro.compiler.incremental import (
     _MiddleAbort,
     _decl_kind,
@@ -66,6 +66,10 @@ from repro.compiler.incremental import (
 from repro.compiler.passes import (
     OptContext,
     cleanup_opt,
+    flat_inline_into_caller,
+    flat_inlinable,
+    flat_loop_vectorize,
+    flat_strlen_opt_fn,
     inline_candidates,
     inline_into_caller,
     local_opt,
@@ -358,7 +362,17 @@ class _SessionRun:
     # -- irgen -------------------------------------------------------------
 
     def lower(self) -> IRModule:
-        irgen = IRGen(self.entry.sema, self.cov)
+        flat_native = getattr(self.compiler, "flat_native", False)
+        if flat_native:
+            # Buffer-direct emission; replayed records re-inject their
+            # FlatFunction carriers verbatim (zero bridge crossings).
+            irgen = FlatIRGen(
+                self.entry.sema,
+                self.cov,
+                counters=getattr(self.compiler, "bridge", None),
+            )
+        else:
+            irgen = IRGen(self.entry.sema, self.cov)
         irgen._collect_enums(self.unit)
         enum_digest = _digest(tuple(irgen._enum_values.items()))
         full_digests, header_digests = decl_digests(
@@ -367,6 +381,7 @@ class _SessionRun:
         options = middle_memo_key(
             self.compiler.name, self.compiler.bug_seed, self.opt_level,
             tuple(self.flags),
+            mode="flat-native" if flat_native else "",
         )
         env_digest = _digest(header_digests)
         globals_state = ""
@@ -442,6 +457,12 @@ class _SessionRun:
             if pend is not None:
                 pend.phase_events[phase] = tuple(self.journal[start:])
 
+        # Flat-native runs splice/scan IRBuffers directly; the object
+        # stage entry points remain the paranoid reference path.
+        inline_fn = flat_inline_into_caller if ctx.flat_native else inline_into_caller
+        strlen_fn = flat_strlen_opt_fn if ctx.flat_native else strlen_opt_fn
+        vectorize_fn = flat_loop_vectorize if ctx.flat_native else loop_vectorize
+
         for fn in list(module.functions.values()):
             drive("local", fn, lambda f=fn: local_opt(f, ctx))
         if ctx.opt_level >= 2:
@@ -451,15 +472,15 @@ class _SessionRun:
                     drive(
                         "inline",
                         caller,
-                        lambda c=caller: inline_into_caller(c, candidates, ctx),
+                        lambda c=caller: inline_fn(c, candidates, ctx),
                     )
             for fn in module.functions.values():
-                drive("strlen", fn, lambda f=fn: strlen_opt_fn(f, module, ctx))
+                drive("strlen", fn, lambda f=fn: strlen_fn(f, module, ctx))
             for fn in list(module.functions.values()):
                 drive("cleanup", fn, lambda f=fn: cleanup_opt(f, ctx))
         if ctx.opt_level >= 3 or ctx.flag("-ftree-vectorize"):
             for fn in list(module.functions.values()):
-                drive("vectorize", fn, lambda f=fn: loop_vectorize(f, ctx))
+                drive("vectorize", fn, lambda f=fn: vectorize_fn(f, ctx))
 
     def _cand_digest(self, names: frozenset) -> str:
         return _digest(tuple(sorted((n, self.fn_keys[n]) for n in names)))
@@ -473,18 +494,26 @@ class _SessionRun:
         function of the candidate's irgen key).  Any disagreement aborts to
         a fully live run, which re-records everything coherently.
         """
+        flat_native = getattr(self.compiler, "flat_native", False)
         if not self.clean_fns:
-            candidates = inline_candidates(module)
+            if flat_native:
+                candidates = {
+                    name: fn.buffer()
+                    for name, fn in module.functions.items()
+                    if flat_inlinable(fn.buffer())
+                }
+            else:
+                candidates = inline_candidates(module)
             self.candidate_names = frozenset(candidates)
             self.candidates_digest = self._cand_digest(self.candidate_names)
-            for name, fn in candidates.items():
+            for name in candidates:
                 pend = self.pending_fn.get(name)
                 if pend is not None:
                     # Callers inline the body by value: snapshot it at this
                     # (post-local-opt) point, before later phases mutate it.
                     # Flat snapshots cost a handful of list copies instead of
                     # a deep object-graph walk.
-                    pend.snapshot = FunctionSnapshot.of(fn)
+                    pend.snapshot = FunctionSnapshot.of(module.functions[name])
             return candidates
         names = None
         for rec in self.clean_fns.values():
@@ -494,7 +523,11 @@ class _SessionRun:
                 raise _MiddleAbort("session candidate sets disagree")
         dirty = [n for n in module.functions if n not in self.clean_fns]
         for name in dirty:
-            if name in names or _inlinable(module.functions[name]):
+            fn = module.functions[name]
+            is_candidate = (
+                flat_inlinable(fn.buffer()) if flat_native else _inlinable(fn)
+            )
+            if name in names or is_candidate:
                 raise _MiddleAbort("dirty function affects inline candidacy")
         for name in names:
             rec = self.clean_fns.get(name)
@@ -506,6 +539,13 @@ class _SessionRun:
                 raise _MiddleAbort("candidate bodies changed")
         self.candidate_names = names
         self.candidates_digest = digest
+        if flat_native:
+            # Session-served callee bodies feed the flat inliner as raw
+            # buffers: no materialization, no bridge crossing.
+            return {
+                name: self.clean_fns[name].snapshot.buf
+                for name in names
+            }
         return {
             name: self.clean_fns[name].snapshot.materialize()
             for name in names
@@ -591,7 +631,11 @@ def lower_and_optimize_session(
     fully live run that re-records every declaration.
     """
     options = middle_memo_key(
-        compiler.name, compiler.bug_seed, opt_level, tuple(flags)
+        compiler.name,
+        compiler.bug_seed,
+        opt_level,
+        tuple(flags),
+        mode="flat-native" if getattr(compiler, "flat_native", False) else "",
     )
     result_key = (options, entry.source_hash)
     with span(compiler.tracer, "session"):
@@ -668,6 +712,8 @@ def _run_session(
             checkpoint=run.checkpoint,
             fuse=compiler.fuse_passes,
             flat=getattr(compiler, "flat_ir", False),
+            flat_native=getattr(compiler, "flat_native", False),
+            bridge=getattr(compiler, "bridge", None),
         )
         ctx.stats.journal = journal
         run.optimize(module, ctx)

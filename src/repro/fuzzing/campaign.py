@@ -109,6 +109,7 @@ def make_fuzzer(
     session: bool = False,
     fuse_passes: bool = False,
     flat_ir: bool = False,
+    flat_native: bool = False,
     batch_compile: bool = False,
     scheduler: "MutatorScheduler | None" = None,
     mutator_stats: bool | None = None,
@@ -130,7 +131,8 @@ def make_fuzzer(
             quarantine=quarantine, cache_maxsize=cache_maxsize,
             incremental=incremental, paranoid=paranoid,
             session=session_arg, fuse_passes=fuse_passes,
-            flat_ir=flat_ir, batch_compile=batch_compile,
+            flat_ir=flat_ir, flat_native=flat_native,
+            batch_compile=batch_compile,
             scheduler=scheduler, mutator_stats=mutator_stats,
         )
     elif name == "uCFuzz.u":
@@ -139,7 +141,8 @@ def make_fuzzer(
             quarantine=quarantine, cache_maxsize=cache_maxsize,
             incremental=incremental, paranoid=paranoid,
             session=session_arg, fuse_passes=fuse_passes,
-            flat_ir=flat_ir, batch_compile=batch_compile,
+            flat_ir=flat_ir, flat_native=flat_native,
+            batch_compile=batch_compile,
             scheduler=scheduler, mutator_stats=mutator_stats,
         )
     elif name == "AFL++":
@@ -255,6 +258,9 @@ class Campaign:
     fuse_passes: bool = False
     #: Run the optimizer's local rounds over the flat slotted IR buffer.
     flat_ir: bool = False
+    #: Keep the whole middle end buffer-native — buffer-direct irgen, flat
+    #: inlining, buffer-served journal replay (implies ``flat_ir``).
+    flat_native: bool = False
     #: Compile each μCFuzz step's attempt set as one session batch.
     batch_compile: bool = False
     #: Evolutionary mutator scheduling: give each μCFuzz cell a
@@ -300,6 +306,7 @@ class Campaign:
                 session=self.session,
                 fuse_passes=self.fuse_passes,
                 flat_ir=self.flat_ir,
+                flat_native=self.flat_native,
                 batch_compile=self.batch_compile,
                 schedule=self.schedule,
                 mutator_stats=self.mutator_stats,

@@ -114,6 +114,8 @@ class CellSpec:
     fuse_passes: bool = False
     #: Run the optimizer's local rounds over the flat slotted IR buffer.
     flat_ir: bool = False
+    #: Keep the whole middle end buffer-native (implies ``flat_ir``).
+    flat_native: bool = False
     #: Compile each μCFuzz step's attempt set as one session batch.
     batch_compile: bool = False
     #: Evolutionary mutator scheduling: the worker builds a
@@ -160,6 +162,7 @@ def cell_key(spec: CellSpec) -> str:
         spec.session,
         spec.fuse_passes,
         spec.flat_ir,
+        spec.flat_native,
         spec.batch_compile,
         spec.schedule,
         spec.mutator_stats,
@@ -257,6 +260,7 @@ def run_cell(spec: CellSpec) -> "CampaignResult":
         session=spec.session,
         fuse_passes=spec.fuse_passes,
         flat_ir=spec.flat_ir,
+        flat_native=spec.flat_native,
         batch_compile=spec.batch_compile,
         scheduler=scheduler,
         mutator_stats=spec.mutator_stats,

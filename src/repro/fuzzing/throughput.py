@@ -1,15 +1,18 @@
-"""Fuzzing-throughput measurement: uncached vs. cached vs. incremental vs. session vs. flat-ir.
+"""Fuzzing-throughput measurement: uncached vs. cached vs. incremental vs. session vs. flat-ir vs. flat-native.
 
 The perf contract of the compile pipeline is measured here: the same μCFuzz
 run (same compiler, seeds, RNG seed — hence an identical step sequence) is
-executed five ways in one process — front end uncached, front-end cache
+executed six ways in one process — front end uncached, front-end cache
 only, fully incremental (dirty-region front end plus function-granular
 middle-end replay), session+fused (cross-step middle-end memoization
 through a persistent :class:`~repro.compiler.session.CompileSession`, the
-fused single-walk local pass, and batched per-step compilation), and
+fused single-walk local pass, and batched per-step compilation),
 flat-ir (everything the session arm does, with the optimizer's local
 rounds running over the flat slotted
-:class:`~repro.compiler.flatir.IRBuffer`) — and the
+:class:`~repro.compiler.flatir.IRBuffer`), and flat-native (the whole
+middle end buffer-native: buffer-direct irgen, flat inlining/strlen/
+vectorize, and buffer-served journal replay — the object IR is never
+constructed on the hot path, gated by ``flat_decodes == 0``) — and the
 steps/sec ratios, cache hit-rates, and per-stage timing breakdown are
 written to ``BENCH_throughput.json`` so successive PRs accumulate a perf
 trajectory.  All runs must land on identical final coverage and pool sizes:
@@ -66,6 +69,7 @@ def _build_fuzzer(
     session: bool = False,
     fuse_passes: bool = False,
     flat_ir: bool = False,
+    flat_native: bool = False,
     batch_compile: bool = False,
 ):
     import repro.mutators  # noqa: F401  (populate the registry)
@@ -92,6 +96,7 @@ def _build_fuzzer(
         session=True if session else None,
         fuse_passes=fuse_passes,
         flat_ir=flat_ir,
+        flat_native=flat_native,
         batch_compile=batch_compile,
     )
 
@@ -138,35 +143,37 @@ def measure_throughput(
     n_seeds: int = DEFAULT_SEEDS,
     seed: int = 2024,
 ) -> dict:
-    """Run the uncached, cached, incremental, session, and flat-ir arms.
+    """Run the uncached through flat-native arms (six of them).
 
     All runs use the same RNG seed; neither caching, incremental
-    compilation, the compile session, nor the flat IR consumes fuzzer
-    randomness (the batched step path draws per attempt lazily, in the
-    sequential order), so they execute the identical step sequence and the
-    comparison is apples-to-apples (also sanity-checked via final coverage
-    and pool size, which must match exactly across all five arms).
+    compilation, the compile session, nor the flat IR (buffer passes or the
+    fully buffer-native middle end) consumes fuzzer randomness (the batched
+    step path draws per attempt lazily, in the sequential order), so they
+    execute the identical step sequence and the comparison is
+    apples-to-apples (also sanity-checked via final coverage and pool size,
+    which must match exactly across all six arms).
     """
     from repro.fuzzing.seedgen import generate_seeds
 
     seeds = generate_seeds(n_seeds)
     report: dict = {"fuzzer": fuzzer_name, "seed": seed, "n_seeds": n_seeds}
     variants = (
-        # (label, use_cache, incremental, session, flat_ir)
-        ("uncached", False, False, False, False),
-        ("cached", True, False, False, False),
-        ("incremental", True, True, False, False),
-        ("session", True, True, True, False),
-        ("flat_ir", True, True, True, True),
+        # (label, use_cache, incremental, session, flat_ir, flat_native)
+        ("uncached", False, False, False, False, False),
+        ("cached", True, False, False, False, False),
+        ("incremental", True, True, False, False, False),
+        ("session", True, True, True, False, False),
+        ("flat_ir", True, True, True, True, False),
+        ("flat_native", True, True, True, True, True),
     )
-    for label, use_cache, incremental, session, flat_ir in variants:
+    for label, use_cache, incremental, session, flat_ir, flat_native in variants:
         fuzzer = _build_fuzzer(
             fuzzer_name, seeds, seed, use_cache, incremental=incremental,
             session=session, fuse_passes=session, flat_ir=flat_ir,
-            batch_compile=session,
+            flat_native=flat_native, batch_compile=session,
         )
         report[label] = _time_run(fuzzer, steps)
-    for label in ("cached", "incremental", "session", "flat_ir"):
+    for label in ("cached", "incremental", "session", "flat_ir", "flat_native"):
         assert (
             report[label]["final_coverage"]
             == report["uncached"]["final_coverage"]
@@ -204,6 +211,13 @@ def measure_throughput(
         report["flat_ir"]["steps_per_sec"],
         report["session"]["steps_per_sec"],
     )
+    report["speedup_flat_native"] = _ratio(
+        report["flat_native"]["steps_per_sec"], uncached_sps
+    )
+    report["speedup_flat_native_vs_flat_ir"] = _ratio(
+        report["flat_native"]["steps_per_sec"],
+        report["flat_ir"]["steps_per_sec"],
+    )
     report["cache_hit_rate"] = report["cached"]["stats"].get("cache_hit_rate", 0.0)
     inc_stats = report["incremental"]["stats"]
     report["incremental_hit_rate"] = _ratio(
@@ -232,9 +246,12 @@ def run(steps: int, output: str | Path, fuzzer_name: str = "uCFuzz.s") -> dict:
         f"{report['cached']['steps_per_sec']} (cached) -> "
         f"{report['incremental']['steps_per_sec']} (incremental) -> "
         f"{report['session']['steps_per_sec']} (session+fused) -> "
-        f"{report['flat_ir']['steps_per_sec']} (flat-ir) steps/sec "
-        f"(flat-ir speedup {report['speedup_flat_ir']}x over uncached, "
-        f"{report['speedup_flat_ir_vs_session']}x over session, "
+        f"{report['flat_ir']['steps_per_sec']} (flat-ir) -> "
+        f"{report['flat_native']['steps_per_sec']} (flat-native) steps/sec "
+        f"(flat-native speedup {report['speedup_flat_native']}x over "
+        f"uncached, {report['speedup_flat_native_vs_flat_ir']}x over "
+        f"flat-ir, flat decodes "
+        f"{report['flat_native']['stats'].get('flat_decodes', 0)}, "
         f"cache hit-rate {report['cache_hit_rate']:.2%}, "
         f"session hit-rate {report['session_hit_rate']:.2%}) -> {path}"
     )
@@ -276,6 +293,19 @@ def smoke_main(argv: list[str] | None = None) -> int:
         raise SystemExit("bench-smoke: session arm diverged from incremental")
     if report["flat_ir"]["stats"].get("middle_session_hits", 0) <= 0:
         raise SystemExit("bench-smoke: the flat-ir arm's session never hit")
+    flat_native_stats = report["flat_native"]["stats"]
+    if flat_native_stats.get("middle_session_hits", 0) <= 0:
+        raise SystemExit(
+            "bench-smoke: the flat-native arm's session never hit"
+        )
+    # The bridge-elimination contract: a flat-native run never decodes a
+    # buffer back to object IR on the hot path (encodes would mean irgen
+    # fell back to object emission somewhere).
+    if flat_native_stats.get("flat_decodes", 0) != 0:
+        raise SystemExit(
+            "bench-smoke: the flat-native arm crossed the IR bridge "
+            f"({flat_native_stats.get('flat_decodes')} decodes)"
+        )
     # Arm ordering: each optimization layer must not make the pipeline
     # slower.  A tiny step budget is noisy, so the gate is a generous slack
     # factor, not strict monotonicity — it catches a de-optimized layer
@@ -283,7 +313,10 @@ def smoke_main(argv: list[str] | None = None) -> int:
     # large enough to amortize session/cache warmup (below ~40 steps the
     # memoizing arms legitimately trail while their stores are cold).
     slack = 0.7
-    order = ("uncached", "cached", "incremental", "session", "flat_ir")
+    order = (
+        "uncached", "cached", "incremental", "session", "flat_ir",
+        "flat_native",
+    )
     rates = [report[label]["steps_per_sec"] for label in order]
     if args.steps >= 40 and all(rate is not None for rate in rates):
         for i in range(1, len(order)):
@@ -320,6 +353,13 @@ def paranoid_main(argv: list[str] | None = None) -> int:
         "(every paranoid check then doubles as a flat-vs-object "
         "differential)",
     )
+    parser.add_argument(
+        "--flat-native", action="store_true",
+        help="keep the whole middle end buffer-native (buffer-direct "
+        "irgen, flat inlining, buffer-served journal replay); every "
+        "paranoid check then differentials the flat-native pipeline "
+        "against a cold object-IR compile",
+    )
     args = parser.parse_args(argv)
     from repro.fuzzing.seedgen import generate_seeds
 
@@ -327,7 +367,7 @@ def paranoid_main(argv: list[str] | None = None) -> int:
     fuzzer = _build_fuzzer(
         "uCFuzz.s", seeds, args.seed, True, incremental=True, paranoid=True,
         session=args.session, fuse_passes=args.fused, flat_ir=args.flat_ir,
-        batch_compile=args.session,
+        flat_native=args.flat_native, batch_compile=args.session,
     )
     for _ in range(args.steps):
         fuzzer.step()  # IncrementalDivergence propagates and fails the job
@@ -336,7 +376,9 @@ def paranoid_main(argv: list[str] | None = None) -> int:
     middle_hits = stats.get("middle_incremental_hits", 0)
     session_hits = stats.get("middle_session_hits", 0)
     mode = "session+fused" if args.session else "incremental"
-    if args.flat_ir:
+    if args.flat_native:
+        mode = "flat-native+" + mode
+    elif args.flat_ir:
         mode = "flat-ir+" + mode
     print(
         f"paranoid-smoke[{mode}]: {args.steps} steps, 0 divergences, "

@@ -183,6 +183,30 @@ def render_triggers(
     return "\n".join(lines) if lines else "(no crashes discovered)"
 
 
+#: Compile-pipeline counters surfaced in the text report (when present in
+#: the merged stats): middle-end reuse machinery plus the object<->buffer
+#: bridge crossings — a flat-native campaign holds ``flat_decodes`` at zero.
+PIPELINE_COUNTERS = (
+    "middle_incremental_hits",
+    "middle_session_hits",
+    "fused_pass_runs",
+    "flat_encodes",
+    "flat_decodes",
+)
+
+
+def render_pipeline(stats: dict) -> str:
+    lines = [f"{'counter':<26} {'value':>12}", _rule(40)]
+    shown = False
+    for key in PIPELINE_COUNTERS:
+        value = stats.get(key)
+        if value is None:
+            continue
+        shown = True
+        lines.append(f"{key:<26} {value:>12,}")
+    return "\n".join(lines) if shown else "(no pipeline counters recorded)"
+
+
 def render_report(
     results: "list[tuple[str, CampaignResult]]",
     triggers_dir: "str | Path | None" = None,
@@ -197,6 +221,9 @@ def render_report(
         "",
         "== per-cell results (Table 5 shape) ==",
         render_cells(results),
+        "",
+        "== compile pipeline (middle-end reuse + IR bridge) ==",
+        render_pipeline(merge_stats([r.stats for _, r in results])),
         "",
         "== unique crashes by module (Table 6 shape) ==",
         render_census(crashes),
